@@ -1,0 +1,205 @@
+// Benchmark entry points: one testing.B benchmark per table and figure of
+// the paper's evaluation (§6). Each benchmark executes its experiment at a
+// reduced scale suitable for `go test -bench`; cmd/lstore-bench runs the
+// same experiments with full control over scale. The printed series are the
+// reproduction artifact; b.ReportMetric surfaces the headline number.
+//
+// Run all: go test -bench=. -benchmem
+package lstore_test
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"lstore"
+	"lstore/internal/bench"
+	"lstore/internal/workload"
+)
+
+// benchOptions returns the scaled-down options used under `go test -bench`.
+func benchOptions() bench.Options {
+	return bench.Options{
+		TableSize: 16384,
+		Duration:  250 * time.Millisecond,
+		Threads:   []int{1, 2, 4, 8},
+		RangeSize: 2048,
+		Out:       os.Stdout,
+	}
+}
+
+// runExperiment executes one experiment exactly once per benchmark run.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Experiments[id](o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7ScalabilityLow(b *testing.B)      { runExperiment(b, "fig7a") }
+func BenchmarkFig7ScalabilityMed(b *testing.B)      { runExperiment(b, "fig7b") }
+func BenchmarkFig7ScalabilityHigh(b *testing.B)     { runExperiment(b, "fig7c") }
+func BenchmarkFig8ScanVsMergeBatch(b *testing.B)    { runExperiment(b, "fig8") }
+func BenchmarkTable7ScanComparison(b *testing.B)    { runExperiment(b, "table7") }
+func BenchmarkFig9ReadRatioLow(b *testing.B)        { runExperiment(b, "fig9a") }
+func BenchmarkFig9ReadRatioMed(b *testing.B)        { runExperiment(b, "fig9b") }
+func BenchmarkFig10MixedLow(b *testing.B)           { runExperiment(b, "fig10a") }
+func BenchmarkFig10MixedMed(b *testing.B)           { runExperiment(b, "fig10c") }
+func BenchmarkTable8RowVsColumn(b *testing.B)       { runExperiment(b, "table8") }
+func BenchmarkTable9PointQueryColumns(b *testing.B) { runExperiment(b, "table9") }
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the primitives (ablation-style measurements of the
+// design choices DESIGN.md calls out).
+
+// BenchmarkPointUpdate measures single-threaded short-update latency.
+func BenchmarkPointUpdate(b *testing.B) {
+	w := workload.ForContention(workload.Low, 16384)
+	e, err := bench.NewLStore(w.NumCols, bench.LStoreOptions{RangeSize: 2048})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Preload(w.TableSize, w.NumCols); err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewGenerator(w, 1)
+	b.ResetTimer()
+	committed := 0
+	for i := 0; i < b.N; i++ {
+		if bench.RunOneTxn(e, gen.NextTxn()) {
+			committed++
+		}
+	}
+	b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "txns/s")
+}
+
+// BenchmarkScanAfterMerge measures the columnar scan fast path (everything
+// consolidated, 0-hop reads).
+func BenchmarkScanAfterMerge(b *testing.B) {
+	benchScan(b, true)
+}
+
+// BenchmarkScanWithTailBacklog measures scans that must chase tail records
+// (merge disabled — the worst case of Figure 8).
+func BenchmarkScanWithTailBacklog(b *testing.B) {
+	benchScan(b, false)
+}
+
+func benchScan(b *testing.B, merged bool) {
+	w := workload.ForContention(workload.Low, 16384)
+	e, err := bench.NewLStore(w.NumCols, bench.LStoreOptions{RangeSize: 2048, DisableAutoMerge: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Preload(w.TableSize, w.NumCols); err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewGenerator(w, 2)
+	for i := 0; i < 2000; i++ {
+		bench.RunOneTxn(e, gen.NextTxn())
+	}
+	if merged {
+		e.Store().ForceMerge()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, rows := e.ScanSum(e.Now(), 1, w.TableSize)
+		if rows == 0 {
+			b.Fatalf("empty scan (sum=%d)", sum)
+		}
+	}
+}
+
+// BenchmarkMergeThroughput measures tail records consolidated per second by
+// the merge process itself.
+func BenchmarkMergeThroughput(b *testing.B) {
+	w := workload.ForContention(workload.Low, 16384)
+	b.ReportAllocs()
+	var total float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := bench.NewLStore(w.NumCols, bench.LStoreOptions{RangeSize: 2048, DisableAutoMerge: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Preload(w.TableSize, w.NumCols); err != nil {
+			b.Fatal(err)
+		}
+		gen := workload.NewGenerator(w, 3)
+		for j := 0; j < 5000; j++ {
+			bench.RunOneTxn(e, gen.NextTxn())
+		}
+		b.StartTimer()
+		t0 := time.Now()
+		n := e.Store().ForceMerge()
+		total += float64(n) / time.Since(t0).Seconds()
+		b.StopTimer()
+		e.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(total/float64(b.N), "tailrecs/s")
+}
+
+// BenchmarkCumulativeVsChainReads is the ablation for cumulative updates
+// (§3.1): multi-column point reads with the 2-hop guarantee vs chain walks.
+func BenchmarkCumulativeVsChainReads(b *testing.B) {
+	for _, cumulative := range []bool{true, false} {
+		name := "cumulative"
+		if !cumulative {
+			name = "chained"
+		}
+		b.Run(name, func(b *testing.B) {
+			db := lstore.Open()
+			defer db.Close()
+			tbl, err := db.CreateTable("t", lstore.NewSchema("id",
+				lstore.Column{Name: "id", Type: lstore.Int64},
+				lstore.Column{Name: "c1", Type: lstore.Int64},
+				lstore.Column{Name: "c2", Type: lstore.Int64},
+				lstore.Column{Name: "c3", Type: lstore.Int64},
+			), lstore.TableOptions{
+				RangeSize: 256, DisableAutoMerge: true,
+				DisableCumulativeUpdates: !cumulative,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tx := db.Begin(lstore.ReadCommitted)
+			for i := int64(0); i < 256; i++ {
+				if err := tbl.Insert(tx, lstore.Row{
+					"id": lstore.Int(i), "c1": lstore.Int(0), "c2": lstore.Int(0), "c3": lstore.Int(0),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			// Build 3-version chains touching different columns.
+			for _, col := range []string{"c1", "c2", "c3"} {
+				tx := db.Begin(lstore.ReadCommitted)
+				for i := int64(0); i < 256; i++ {
+					if err := tbl.Update(tx, i, lstore.Row{col: lstore.Int(i)}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := tx.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx := db.Begin(lstore.ReadCommitted)
+				if _, ok, err := tbl.Get(tx, int64(i%256), "c1", "c2", "c3"); err != nil || !ok {
+					b.Fatalf("missing row: %v", err)
+				}
+				tx.Abort()
+			}
+		})
+	}
+}

@@ -1,0 +1,236 @@
+package lstore
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"lstore/internal/core"
+	"lstore/internal/epoch"
+	"lstore/internal/txn"
+	"lstore/internal/wal"
+)
+
+// DB is a collection of tables sharing one transaction manager (one logical
+// clock) and one epoch manager. All methods are safe for concurrent use.
+type DB struct {
+	tm *txn.Manager
+	em *epoch.Manager
+
+	mu     sync.RWMutex
+	tables map[string]*Table
+	byID   []*Table
+	logger *wal.Logger
+	closed bool
+}
+
+// Option configures Open.
+type Option func(*DB)
+
+// WithWAL attaches a redo-only write-ahead log: every committed
+// transaction's operations become durable at its commit record (group
+// commit). Replay a captured log with Recover. syncFn, if non-nil, runs at
+// each flush (an fsync stand-in).
+func WithWAL(sink io.Writer, syncFn func()) Option {
+	return func(db *DB) { db.logger = wal.NewLogger(sink, syncFn) }
+}
+
+// Open creates an empty in-memory database.
+func Open(opts ...Option) *DB {
+	db := &DB{
+		tm:     txn.NewManager(),
+		em:     epoch.NewManager(),
+		tables: make(map[string]*Table),
+	}
+	for _, o := range opts {
+		o(db)
+	}
+	return db
+}
+
+// Close stops every table's background merge worker.
+func (db *DB) Close() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return
+	}
+	db.closed = true
+	for _, t := range db.tables {
+		t.store.Close()
+	}
+}
+
+// CreateTable creates a table with the given schema.
+func (db *DB) CreateTable(name string, schema Schema, opts ...TableOptions) (*Table, error) {
+	var o TableOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	cfg := core.Config{
+		RangeSize:                 o.RangeSize,
+		MergeBatch:                o.MergeBatch,
+		CumulativeUpdates:         !o.DisableCumulativeUpdates,
+		AutoMerge:                 !o.DisableAutoMerge,
+		MergeColumnsIndependently: o.MergeColumnsIndependently,
+	}
+	if o.RowLayout {
+		cfg.Layout = core.RowLayout
+	}
+	for _, colName := range o.SecondaryIndexes {
+		ci := schema.inner.ColIndex(colName)
+		if ci < 0 {
+			return nil, fmt.Errorf("lstore: secondary index on unknown column %q", colName)
+		}
+		cfg.SecondaryIndexColumns = append(cfg.SecondaryIndexColumns, ci)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, core.ErrClosed
+	}
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("lstore: table %q exists", name)
+	}
+	store, err := core.NewStore(schema.inner, cfg, db.tm, db.em)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{db: db, name: name, id: uint64(len(db.byID)), store: store, schema: schema.inner}
+	db.tables[name] = t
+	db.byID = append(db.byID, t)
+	return t, nil
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// TableNames returns the table names, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Now returns the current logical time — a ready-made snapshot handle for
+// Sum/Scan/GetAt.
+func (db *DB) Now() Timestamp { return db.tm.Now() }
+
+// Begin starts a transaction.
+func (db *DB) Begin(level IsolationLevel) *Txn {
+	t := db.tm.Begin(level)
+	if db.logger != nil {
+		db.logger.Append(wal.Record{Kind: wal.KindBegin, TxnID: t.ID}) //nolint:errcheck
+	}
+	return &Txn{db: db, inner: t}
+}
+
+// Txn is one transaction handle.
+type Txn struct {
+	db    *DB
+	inner *txn.Txn
+}
+
+// Commit validates (per isolation level) and commits. On ErrConflict the
+// transaction has been aborted and may be retried by the caller.
+func (t *Txn) Commit() error {
+	if err := t.db.tm.Commit(t.inner); err != nil {
+		if t.db.logger != nil {
+			t.db.logger.Append(wal.Record{Kind: wal.KindAbort, TxnID: t.inner.ID}) //nolint:errcheck
+		}
+		return err
+	}
+	if t.db.logger != nil {
+		if _, err := t.db.logger.AppendCommit(t.inner.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Abort rolls the transaction back (its appended versions become
+// tombstones; nothing is physically removed).
+func (t *Txn) Abort() {
+	t.db.tm.Abort(t.inner)
+	if t.db.logger != nil {
+		t.db.logger.Append(wal.Record{Kind: wal.KindAbort, TxnID: t.inner.ID}) //nolint:errcheck
+	}
+}
+
+// BeginTime returns the transaction's begin timestamp.
+func (t *Txn) BeginTime() Timestamp { return t.inner.Begin }
+
+// Recover replays a redo log captured through WithWAL into db: committed
+// transactions are re-applied in commit order; uncommitted and aborted ones
+// vanish. Tables must have been re-created (same names, same order, same
+// schemas) before calling Recover. The recovered state is logically
+// equivalent: latest committed values, uniqueness and indexes are restored;
+// version timestamps are re-issued.
+func Recover(db *DB, logData io.Reader) error {
+	records, err := wal.ReadAll(logData)
+	if err != nil {
+		return err
+	}
+	return wal.RedoInCommitOrder(records, func(rec wal.Record) error {
+		db.mu.RLock()
+		if rec.Table >= uint64(len(db.byID)) {
+			db.mu.RUnlock()
+			return fmt.Errorf("lstore: recovery references unknown table %d", rec.Table)
+		}
+		tbl := db.byID[rec.Table]
+		db.mu.RUnlock()
+		tx := db.tm.Begin(txn.ReadCommitted)
+		var opErr error
+		switch rec.Kind {
+		case wal.KindInsert:
+			vals := make([]Value, len(rec.TVals))
+			for i, tv := range rec.TVals {
+				vals[i] = fromTyped(tv)
+			}
+			opErr = tbl.store.Insert(tx, vals)
+		case wal.KindUpdate:
+			cols := make([]int, len(rec.Cols))
+			vals := make([]Value, len(rec.TVals))
+			for i, c := range rec.Cols {
+				cols[i] = int(c)
+			}
+			for i, tv := range rec.TVals {
+				vals[i] = fromTyped(tv)
+			}
+			opErr = tbl.store.Update(tx, unzig(rec.Key), cols, vals)
+		case wal.KindDelete:
+			opErr = tbl.store.Delete(tx, unzig(rec.Key))
+		}
+		if opErr != nil {
+			db.tm.Abort(tx)
+			return opErr
+		}
+		return db.tm.Commit(tx)
+	})
+}
+
+func fromTyped(tv wal.TypedVal) Value {
+	switch tv.Kind {
+	case wal.TVInt:
+		return Int(tv.I)
+	case wal.TVString:
+		return Str(tv.S)
+	default:
+		return Null()
+	}
+}
+
+// Key slots in log records are zigzag-coded int64 keys.
+func zig(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzig(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

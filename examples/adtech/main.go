@@ -1,0 +1,162 @@
+// Adtech reproduces the paper's first motivating scenario (§1): a real-time
+// targeted-advertising auction. Shoppers roam and generate location events;
+// ad auctions bid transactionally; analytics over the very latest
+// impressions and purchases steer the next bids — all against one store,
+// with no ETL between the transactional and analytical sides.
+//
+// Run with: go run ./examples/adtech
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"lstore"
+)
+
+const (
+	nShoppers  = 2000
+	nBidders   = 4
+	auctionOps = 3000
+)
+
+func main() {
+	db := lstore.Open()
+	defer db.Close()
+
+	shoppers, err := db.CreateTable("shoppers", lstore.NewSchema("id",
+		lstore.Column{Name: "id", Type: lstore.Int64},
+		lstore.Column{Name: "zone", Type: lstore.Int64},      // current location zone
+		lstore.Column{Name: "visits", Type: lstore.Int64},    // site visits
+		lstore.Column{Name: "purchases", Type: lstore.Int64}, // lifetime purchases
+		lstore.Column{Name: "spend", Type: lstore.Int64},     // lifetime spend (cents)
+	), lstore.TableOptions{SecondaryIndexes: []string{"zone"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bids, err := db.CreateTable("bids", lstore.NewSchema("id",
+		lstore.Column{Name: "id", Type: lstore.Int64},
+		lstore.Column{Name: "shopper", Type: lstore.Int64},
+		lstore.Column{Name: "price", Type: lstore.Int64}, // winning bid (cents)
+		lstore.Column{Name: "won", Type: lstore.Int64},   // 1 = converted to purchase
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Seed the shopper population.
+	tx := db.Begin(lstore.ReadCommitted)
+	for i := int64(0); i < nShoppers; i++ {
+		if err := shoppers.Insert(tx, lstore.Row{
+			"id": lstore.Int(i), "zone": lstore.Int(i % 16),
+			"visits": lstore.Int(0), "purchases": lstore.Int(0), "spend": lstore.Int(0),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	var nextBid atomic.Int64
+	var conversions atomic.Int64
+	var conflicts atomic.Int64
+
+	// Bidders: each auction reads the shopper's live profile (OLTP point
+	// reads), places a bid transactionally, and sometimes converts it into
+	// a purchase that is immediately visible to the analytics below.
+	var wg sync.WaitGroup
+	for b := 0; b < nBidders; b++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for op := 0; op < auctionOps/nBidders; op++ {
+				shopper := rng.Int63n(nShoppers)
+				tx := db.Begin(lstore.ReadCommitted)
+				prof, ok, err := shoppers.Get(tx, shopper, "visits", "purchases", "spend")
+				if err != nil || !ok {
+					tx.Abort()
+					continue
+				}
+				// Bid more for shoppers with purchase history (the "real-time
+				// actionable insight").
+				price := 10 + prof["purchases"].Int()*5 + prof["spend"].Int()/100
+				bidID := nextBid.Add(1)
+				won := rng.Intn(4) == 0
+				wonVal := int64(0)
+				if won {
+					wonVal = 1
+				}
+				if err := bids.Insert(tx, lstore.Row{
+					"id": lstore.Int(bidID), "shopper": lstore.Int(shopper),
+					"price": lstore.Int(price), "won": lstore.Int(wonVal),
+				}); err != nil {
+					tx.Abort()
+					continue
+				}
+				set := lstore.Row{"visits": lstore.Int(prof["visits"].Int() + 1)}
+				if won {
+					set["purchases"] = lstore.Int(prof["purchases"].Int() + 1)
+					set["spend"] = lstore.Int(prof["spend"].Int() + price)
+				}
+				if err := shoppers.Update(tx, shopper, set); err != nil {
+					tx.Abort()
+					conflicts.Add(1)
+					continue
+				}
+				if err := tx.Commit(); err != nil {
+					conflicts.Add(1)
+					continue
+				}
+				if won {
+					conversions.Add(1)
+				}
+			}
+		}(int64(b) + 7)
+	}
+
+	// Real-time analytics: revenue and engagement over the LATEST data,
+	// running concurrently with the auctions (no drain, no ETL).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5; i++ {
+			ts := db.Now()
+			spend, shoppersSeen, _ := shoppers.Sum(ts, "spend")
+			visits, _, _ := shoppers.Sum(ts, "visits")
+			fmt.Printf("[analytics] snapshot=%d shoppers=%d visits=%d revenue=%d¢\n",
+				ts, shoppersSeen, visits, spend)
+		}
+	}()
+
+	wg.Wait()
+	<-done
+
+	// Final, exact reconciliation: revenue booked on shoppers equals the
+	// sum of won bids — one engine, one copy of the truth.
+	ts := db.Now()
+	revenue, _, _ := shoppers.Sum(ts, "spend")
+	var wonRevenue int64
+	if err := bids.Scan(ts, []string{"price", "won"}, func(_ int64, row lstore.Row) bool {
+		if row["won"].Int() == 1 {
+			wonRevenue += row["price"].Int()
+		}
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("conversions=%d conflicts=%d\n", conversions.Load(), conflicts.Load())
+	fmt.Printf("revenue on shopper profiles: %d¢; revenue from won bids: %d¢\n", revenue, wonRevenue)
+	if revenue != wonRevenue {
+		log.Fatalf("BOOKS DO NOT BALANCE: %d != %d", revenue, wonRevenue)
+	}
+	fmt.Println("books balance ✓")
+
+	// Zone targeting via the secondary index.
+	zone3, _ := shoppers.FindBy(ts, "zone", lstore.Int(3))
+	fmt.Printf("shoppers currently in zone 3: %d\n", len(zone3))
+}

@@ -1,0 +1,91 @@
+// Quickstart: create a table, run transactions, scan analytically, travel
+// in time. Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lstore"
+)
+
+func main() {
+	db := lstore.Open()
+	defer db.Close()
+
+	accounts, err := db.CreateTable("accounts", lstore.NewSchema("id",
+		lstore.Column{Name: "id", Type: lstore.Int64},
+		lstore.Column{Name: "owner", Type: lstore.String},
+		lstore.Column{Name: "balance", Type: lstore.Int64},
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// OLTP: insert a few accounts in one transaction.
+	tx := db.Begin(lstore.ReadCommitted)
+	for i, owner := range []string{"ada", "bob", "cleo"} {
+		if err := accounts.Insert(tx, lstore.Row{
+			"id": lstore.Int(int64(i + 1)), "owner": lstore.Str(owner), "balance": lstore.Int(100),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Remember this moment for time travel.
+	before := db.Now()
+
+	// Transfer 30 from ada to bob, transactionally.
+	transfer := func(from, to int64, amount int64) error {
+		tx := db.Begin(lstore.Serializable)
+		a, ok, err := accounts.Get(tx, from, "balance")
+		if err != nil || !ok {
+			tx.Abort()
+			return fmt.Errorf("from account: %v %v", ok, err)
+		}
+		b, ok, err := accounts.Get(tx, to, "balance")
+		if err != nil || !ok {
+			tx.Abort()
+			return fmt.Errorf("to account: %v %v", ok, err)
+		}
+		if a["balance"].Int() < amount {
+			tx.Abort()
+			return fmt.Errorf("insufficient funds")
+		}
+		if err := accounts.Update(tx, from, lstore.Row{"balance": lstore.Int(a["balance"].Int() - amount)}); err != nil {
+			tx.Abort()
+			return err
+		}
+		if err := accounts.Update(tx, to, lstore.Row{"balance": lstore.Int(b["balance"].Int() + amount)}); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	}
+	if err := transfer(1, 2, 30); err != nil {
+		log.Fatal(err)
+	}
+
+	// OLAP: the total is conserved, computed from a consistent snapshot
+	// without blocking any writer.
+	sum, rows, _ := accounts.Sum(db.Now(), "balance")
+	fmt.Printf("accounts=%d  total balance=%d (invariant: 300)\n", rows, sum)
+
+	// Point read.
+	tx = db.Begin(lstore.ReadCommitted)
+	ada, _, _ := accounts.Get(tx, 1, "balance")
+	tx.Abort()
+	fmt.Printf("ada now has %d\n", ada["balance"].Int())
+
+	// Time travel: ada before the transfer.
+	then, _, _ := accounts.GetAt(before, 1, "balance")
+	fmt.Printf("ada before the transfer had %d\n", then["balance"].Int())
+
+	// Background storage adaptation is observable through stats.
+	accounts.Merge()
+	st := accounts.Stats()
+	fmt.Printf("tail records=%d merges=%d\n", st.TailRecords, st.Merges)
+}

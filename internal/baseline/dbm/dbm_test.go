@@ -1,0 +1,230 @@
+package dbm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lstore/internal/txn"
+	"lstore/internal/types"
+)
+
+func enc(v int64) uint64 { return types.EncodeInt64(v) }
+func dec(v uint64) int64 { return types.DecodeInt64(v) }
+
+func newStore() *Store { return New(4, Config{RangeSize: 64, MergeThreshold: 8}, nil) }
+
+func commit(t *testing.T, s *Store, fn func(tx *txn.Txn)) {
+	t.Helper()
+	tx := s.BeginTxn(txn.ReadCommitted)
+	fn(tx)
+	if err := s.Commit(tx); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+}
+
+func TestInsertReadUpdateOverlay(t *testing.T) {
+	s := newStore()
+	commit(t, s, func(tx *txn.Txn) {
+		if err := s.Insert(tx, []uint64{enc(1), enc(10), enc(20), enc(30)}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	commit(t, s, func(tx *txn.Txn) {
+		if err := s.Update(tx, enc(1), []int{3, 1}, []uint64{enc(33), enc(11)}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	tx := s.BeginTxn(txn.ReadCommitted)
+	got, ok := s.Read(tx, enc(1), []int{1, 2, 3})
+	s.Abort(tx)
+	if !ok || dec(got[0]) != 11 || dec(got[1]) != 20 || dec(got[2]) != 33 {
+		t.Fatalf("read = %v %v", got, ok)
+	}
+}
+
+func TestUncommittedDeltaInvisible(t *testing.T) {
+	s := newStore()
+	commit(t, s, func(tx *txn.Txn) {
+		s.Insert(tx, []uint64{enc(1), enc(10), enc(20), enc(30)})
+	})
+	w := s.BeginTxn(txn.ReadCommitted)
+	if err := s.Update(w, enc(1), []int{1}, []uint64{enc(999)}); err != nil {
+		t.Fatal(err)
+	}
+	rd := s.BeginTxn(txn.ReadCommitted)
+	got, _ := s.Read(rd, enc(1), []int{1})
+	s.Abort(rd)
+	if dec(got[0]) != 10 {
+		t.Fatalf("reader saw uncommitted delta: %d", dec(got[0]))
+	}
+	// Own read sees it.
+	own, _ := s.Read(w, enc(1), []int{1})
+	if dec(own[0]) != 999 {
+		t.Fatalf("own read = %d", dec(own[0]))
+	}
+	s.Abort(w)
+	rd2 := s.BeginTxn(txn.ReadCommitted)
+	got, _ = s.Read(rd2, enc(1), []int{1})
+	s.Abort(rd2)
+	if dec(got[0]) != 10 {
+		t.Fatalf("aborted delta visible: %d", dec(got[0]))
+	}
+}
+
+func TestWriteWriteConflict(t *testing.T) {
+	s := newStore()
+	commit(t, s, func(tx *txn.Txn) {
+		s.Insert(tx, []uint64{enc(1), enc(10), enc(20), enc(30)})
+	})
+	t1 := s.BeginTxn(txn.ReadCommitted)
+	t2 := s.BeginTxn(txn.ReadCommitted)
+	if err := s.Update(t1, enc(1), []int{1}, []uint64{enc(11)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update(t2, enc(1), []int{1}, []uint64{enc(22)}); err != txn.ErrConflict {
+		t.Fatalf("second writer: %v", err)
+	}
+	s.Abort(t2)
+	if err := s.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockingMergeFoldsDelta(t *testing.T) {
+	s := newStore()
+	commit(t, s, func(tx *txn.Txn) {
+		for i := int64(0); i < 16; i++ {
+			s.Insert(tx, []uint64{enc(i), enc(0), enc(0), enc(0)})
+		}
+	})
+	// 10 updates cross the threshold (8).
+	for i := int64(0); i < 10; i++ {
+		commit(t, s, func(tx *txn.Txn) {
+			if err := s.Update(tx, enc(i%4), []int{1}, []uint64{enc(100 + i)}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if n := s.MaybeMerge(); n == 0 {
+		t.Fatal("merge did not run")
+	}
+	if s.Merges() != 1 {
+		t.Fatalf("merges = %d", s.Merges())
+	}
+	r := s.rangeAt(0)
+	r.mu.Lock()
+	deltaLen := len(r.delta)
+	mainVal := r.main[1][1] // key 1's newest update was i=9 -> 109
+	r.mu.Unlock()
+	if deltaLen != 0 {
+		t.Fatalf("delta not cleared: %d", deltaLen)
+	}
+	if dec(mainVal) != 109 {
+		t.Fatalf("main after merge = %d, want 109", dec(mainVal))
+	}
+	// Idle merge is a no-op.
+	if n := s.MaybeMerge(); n != 0 {
+		t.Fatalf("idle merge ran on %d ranges", n)
+	}
+	// Reads still correct.
+	tx := s.BeginTxn(txn.ReadCommitted)
+	got, _ := s.Read(tx, enc(1), []int{1})
+	s.Abort(tx)
+	if dec(got[0]) != 109 {
+		t.Fatalf("read after merge = %d", dec(got[0]))
+	}
+}
+
+func TestMergeDrainsActiveTransactions(t *testing.T) {
+	s := newStore()
+	commit(t, s, func(tx *txn.Txn) {
+		for i := int64(0); i < 16; i++ {
+			s.Insert(tx, []uint64{enc(i), enc(0), enc(0), enc(0)})
+		}
+	})
+	for i := int64(0); i < 10; i++ {
+		commit(t, s, func(tx *txn.Txn) {
+			s.Update(tx, enc(i), []int{1}, []uint64{enc(i)})
+		})
+	}
+	// Hold a transaction open: the merge must wait for it.
+	open := s.BeginTxn(txn.ReadCommitted)
+	done := make(chan int, 1)
+	go func() { done <- s.MaybeMerge() }()
+	select {
+	case <-done:
+		t.Fatal("merge completed while a transaction was active")
+	default:
+	}
+	s.Abort(open)
+	if n := <-done; n == 0 {
+		t.Fatal("merge did not run after drain")
+	}
+}
+
+func TestScanSum(t *testing.T) {
+	s := newStore()
+	commit(t, s, func(tx *txn.Txn) {
+		for i := int64(0); i < 20; i++ {
+			s.Insert(tx, []uint64{enc(i), enc(1), enc(0), enc(0)})
+		}
+	})
+	commit(t, s, func(tx *txn.Txn) {
+		for i := int64(0); i < 5; i++ {
+			s.Update(tx, enc(i), []int{1}, []uint64{enc(10)})
+		}
+	})
+	tx := s.BeginTxn(txn.Snapshot)
+	sum, rows := s.ScanSum(tx.Begin, 1)
+	s.Abort(tx)
+	if sum != 15+50 || rows != 20 {
+		t.Fatalf("scan = %d/%d, want 65/20", sum, rows)
+	}
+}
+
+func TestConcurrentWritersWithPeriodicMerges(t *testing.T) {
+	s := New(4, Config{RangeSize: 256, MergeThreshold: 32}, nil)
+	commit(t, s, func(tx *txn.Txn) {
+		for i := int64(0); i < 64; i++ {
+			s.Insert(tx, []uint64{enc(i), enc(0), enc(0), enc(0)})
+		}
+	})
+	var committed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				key := int64(w*16 + i%16)
+				tx := s.BeginTxn(txn.ReadCommitted)
+				got, ok := s.Read(tx, enc(key), []int{1})
+				if !ok {
+					t.Errorf("key %d missing", key)
+					s.Abort(tx)
+					return
+				}
+				if err := s.Update(tx, enc(key), []int{1}, []uint64{enc(dec(got[0]) + 1)}); err != nil {
+					s.Abort(tx)
+					continue
+				}
+				if err := s.Commit(tx); err != nil {
+					continue
+				}
+				committed.Add(1)
+				if i%20 == 0 {
+					s.MaybeMerge()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.MaybeMerge()
+	tx := s.BeginTxn(txn.Snapshot)
+	sum, _ := s.ScanSum(tx.Begin, 1)
+	s.Abort(tx)
+	if sum != committed.Load() {
+		t.Fatalf("sum %d != committed %d", sum, committed.Load())
+	}
+}

@@ -1,0 +1,502 @@
+// Package iuh implements the In-place Update + History baseline of §6.1:
+// "a prominent storage organization is to append old versions of records to
+// a history table and only retain the most recent version in the main table,
+// updating it in-place" (inspired by Oracle Flashback Archive).
+//
+// Faithful contention profile:
+//
+//   - the main table is columnar and updated in place, so every page access
+//     takes a standard shared/exclusive latch (one RWMutex per range per
+//     column page — readers block behind writers on hot pages);
+//   - pre-update values are appended to a single history table (updated
+//     columns only), giving snapshot readers a chain to walk but with the
+//     reduced locality the paper observes;
+//   - aborts must physically undo the in-place change;
+//   - the embedded indirection column points from each record to its newest
+//     history entry, as in the paper's "for fairness" setup.
+//
+// The transaction layer (timestamps, states, commit/abort) is shared with
+// L-Store (internal/txn), isolating the storage-architecture comparison.
+package iuh
+
+import (
+	"fmt"
+	"sync"
+
+	"lstore/internal/index"
+	"lstore/internal/txn"
+	"lstore/internal/types"
+)
+
+// Config tunes the baseline store.
+type Config struct {
+	// RangeSize is the number of records per latch unit (page set); the
+	// paper latches 32 KB pages ≈ 4096 slots.
+	RangeSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.RangeSize == 0 {
+		c.RangeSize = 4096
+	}
+	return c
+}
+
+// histEntry is one pre-image in the history table.
+type histEntry struct {
+	prev      int32 // index of the next-older entry (-1 = none)
+	startSlot uint64
+	cols      uint64
+	vals      []uint64
+}
+
+// mainRange is one latch unit of the main table.
+type mainRange struct {
+	latches []sync.RWMutex // one per column page (data cols + meta)
+	cols    [][]uint64     // in-place updated column pages
+	start   []uint64       // version start: commit time or txn id
+	hist    []int32        // indirection: newest history entry (-1 = none)
+	used    int
+	mu      sync.Mutex // row allocation
+}
+
+// Store is the baseline engine.
+type Store struct {
+	cfg     Config
+	ncols   int
+	tm      *txn.Manager
+	primary *index.Primary
+
+	rangesMu sync.RWMutex
+	ranges   []*mainRange
+
+	histMu  sync.Mutex
+	history []histEntry
+
+	undoMu sync.Mutex
+	undo   map[uint64][]undoRec // txnID -> in-place changes to revert on abort
+}
+
+type undoRec struct {
+	ri, slot int
+	cols     []int
+	oldVals  []uint64
+	oldStart uint64
+	oldHist  int32
+}
+
+// New creates an IUH store with ncols data columns (column 0 is the key).
+func New(ncols int, cfg Config, tm *txn.Manager) *Store {
+	if tm == nil {
+		tm = txn.NewManager()
+	}
+	return &Store{
+		cfg:     cfg.withDefaults(),
+		ncols:   ncols,
+		tm:      tm,
+		primary: index.NewPrimary(),
+		undo:    make(map[uint64][]undoRec),
+	}
+}
+
+// TxnManager returns the shared transaction manager.
+func (s *Store) TxnManager() *txn.Manager { return s.tm }
+
+func newMainRange(n, ncols int) *mainRange {
+	r := &mainRange{
+		latches: make([]sync.RWMutex, ncols),
+		cols:    make([][]uint64, ncols),
+		start:   make([]uint64, n),
+		hist:    make([]int32, n),
+	}
+	for c := range r.cols {
+		r.cols[c] = make([]uint64, n)
+	}
+	for i := range r.hist {
+		r.hist[i] = -1
+		r.start[i] = types.NullSlot
+	}
+	return r
+}
+
+// Insert adds a record; vals[0] is the key.
+func (s *Store) Insert(t *txn.Txn, vals []uint64) error {
+	if len(vals) != s.ncols {
+		return fmt.Errorf("iuh: arity %d, want %d", len(vals), s.ncols)
+	}
+	ri, slot := s.allocSlot()
+	rid := types.RID(uint64(ri)*uint64(s.cfg.RangeSize) + uint64(slot) + 1)
+	if _, installed := s.primary.PutIfAbsent(vals[0], rid); !installed {
+		return fmt.Errorf("iuh: duplicate key %d", vals[0])
+	}
+	r := s.rangeAt(ri)
+	// In-place write under exclusive latches of all column pages.
+	for c := 0; c < s.ncols; c++ {
+		r.latches[c].Lock()
+	}
+	for c := 0; c < s.ncols; c++ {
+		r.cols[c][slot] = vals[c]
+	}
+	r.start[slot] = t.ID
+	t.NoteWrite()
+	for c := s.ncols - 1; c >= 0; c-- {
+		r.latches[c].Unlock()
+	}
+	return nil
+}
+
+func (s *Store) allocSlot() (int, int) {
+	s.rangesMu.Lock()
+	defer s.rangesMu.Unlock()
+	if len(s.ranges) == 0 || s.ranges[len(s.ranges)-1].used >= s.cfg.RangeSize {
+		s.ranges = append(s.ranges, newMainRange(s.cfg.RangeSize, s.ncols))
+	}
+	r := s.ranges[len(s.ranges)-1]
+	slot := r.used
+	r.used++
+	return len(s.ranges) - 1, slot
+}
+
+func (s *Store) rangeAt(i int) *mainRange {
+	s.rangesMu.RLock()
+	defer s.rangesMu.RUnlock()
+	return s.ranges[i]
+}
+
+func (s *Store) locate(key uint64) (int, int, bool) {
+	rid, ok := s.primary.Get(key)
+	if !ok {
+		return 0, 0, false
+	}
+	v := uint64(rid) - 1
+	return int(v / uint64(s.cfg.RangeSize)), int(v % uint64(s.cfg.RangeSize)), true
+}
+
+// Update modifies cols of the record with key, in place, appending the
+// pre-image to the history table. cols must be in ascending order (the
+// canonical latch order that prevents deadlocks); callers are normalized by
+// sortCols.
+func (s *Store) Update(t *txn.Txn, key uint64, cols []int, vals []uint64) error {
+	cols, vals = sortColsVals(cols, vals)
+	ri, slot, ok := s.locate(key)
+	if !ok {
+		return fmt.Errorf("iuh: key %d not found", key)
+	}
+	r := s.rangeAt(ri)
+	// Exclusive latches on every touched column page plus the meta latch
+	// (page 0 doubles as the meta latch holder to keep ordering canonical).
+	for _, c := range cols {
+		r.latches[c].Lock()
+	}
+	defer func() {
+		for i := len(cols) - 1; i >= 0; i-- {
+			r.latches[cols[i]].Unlock()
+		}
+	}()
+
+	cur := r.start[slot]
+	if cur != t.ID {
+		if _, st := s.tm.Resolve(cur); st == txn.StatusUncommitted || st == txn.StatusPreCommitted {
+			return txn.ErrConflict
+		}
+	}
+
+	// Append the pre-image (updated columns only) to the history table.
+	old := make([]uint64, len(cols))
+	var bits uint64
+	for i, c := range cols {
+		old[i] = r.cols[c][slot]
+		bits |= 1 << uint(c)
+	}
+	s.histMu.Lock()
+	prev := r.hist[slot]
+	s.history = append(s.history, histEntry{prev: prev, startSlot: cur, cols: bits, vals: old})
+	he := int32(len(s.history) - 1)
+	s.histMu.Unlock()
+
+	// Undo information for aborts (in-place updates demand physical undo).
+	s.undoMu.Lock()
+	s.undo[t.ID] = append(s.undo[t.ID], undoRec{
+		ri: ri, slot: slot, cols: append([]int(nil), cols...),
+		oldVals: old, oldStart: cur, oldHist: prev,
+	})
+	s.undoMu.Unlock()
+
+	// In-place update.
+	for i, c := range cols {
+		r.cols[c][slot] = vals[i]
+	}
+	r.hist[slot] = he
+	if cur != t.ID {
+		t.NoteWrite()
+	}
+	r.start[slot] = t.ID
+	return nil
+}
+
+// Abort reverts the transaction's in-place changes and marks it aborted.
+func (s *Store) Abort(t *txn.Txn) {
+	s.tm.Abort(t)
+	s.undoMu.Lock()
+	recs := s.undo[t.ID]
+	delete(s.undo, t.ID)
+	s.undoMu.Unlock()
+	// Undo newest-first.
+	for i := len(recs) - 1; i >= 0; i-- {
+		u := recs[i]
+		r := s.rangeAt(u.ri)
+		for _, c := range u.cols {
+			r.latches[c].Lock()
+		}
+		for j, c := range u.cols {
+			r.cols[c][slot(u)] = u.oldVals[j]
+		}
+		r.start[slot(u)] = u.oldStart
+		r.hist[slot(u)] = u.oldHist
+		for j := len(u.cols) - 1; j >= 0; j-- {
+			r.latches[u.cols[j]].Unlock()
+		}
+	}
+}
+
+func slot(u undoRec) int { return u.slot }
+
+// Commit finalizes the transaction and drops its undo records.
+func (s *Store) Commit(t *txn.Txn) error {
+	if err := s.tm.Commit(t); err != nil {
+		s.Abort(t) // validation failure: physical undo required
+		return err
+	}
+	s.undoMu.Lock()
+	delete(s.undo, t.ID)
+	s.undoMu.Unlock()
+	return nil
+}
+
+// Read returns cols of the record with key: the latest committed version
+// under read-committed, walking into the history table when the main row is
+// uncommitted.
+func (s *Store) Read(t *txn.Txn, key uint64, cols []int) ([]uint64, bool) {
+	cols, _ = sortColsVals(cols, nil)
+	ri, sl, ok := s.locate(key)
+	if !ok {
+		return nil, false
+	}
+	r := s.rangeAt(ri)
+	out := make([]uint64, len(cols))
+	for _, c := range cols {
+		r.latches[c].RLock()
+	}
+	cur := r.start[sl]
+	visible := cur == t.ID
+	if !visible {
+		if _, st := s.tm.Resolve(cur); st == txn.StatusCommitted {
+			visible = true
+		}
+	}
+	if visible {
+		for i, c := range cols {
+			out[i] = r.cols[c][sl]
+		}
+		for i := len(cols) - 1; i >= 0; i-- {
+			r.latches[cols[i]].RUnlock()
+		}
+		return out, true
+	}
+	// Uncommitted by another txn: reconstruct the committed image from the
+	// newest history entries.
+	for i, c := range cols {
+		out[i] = r.cols[c][sl]
+	}
+	he := r.hist[sl]
+	need := uint64(0)
+	for _, c := range cols {
+		need |= 1 << uint(c)
+	}
+	for i := len(cols) - 1; i >= 0; i-- {
+		r.latches[cols[i]].RUnlock()
+	}
+	s.histMu.Lock()
+	for he >= 0 && need != 0 {
+		e := s.history[he]
+		for i, c := range cols {
+			if need&(1<<uint(c)) != 0 && e.cols&(1<<uint(c)) != 0 {
+				// The pre-image of the uncommitted writer IS the committed
+				// value.
+				vi := 0
+				for cc := 0; cc < c; cc++ {
+					if e.cols&(1<<uint(cc)) != 0 {
+						vi++
+					}
+				}
+				out[i] = e.vals[vi]
+				need &^= 1 << uint(c)
+			}
+		}
+		if _, st := s.tm.Resolve(e.startSlot); st == txn.StatusCommitted {
+			break // reached a committed version; values now consistent
+		}
+		he = e.prev
+	}
+	s.histMu.Unlock()
+	return out, true
+}
+
+// ScanSum computes SUM(col) over records visible at ts, taking shared page
+// latches like any reader (the paper's point: "even for 100% read, IUH
+// continues to pay the cost of acquiring read latches on each page").
+func (s *Store) ScanSum(ts types.Timestamp, col int) (int64, int64) {
+	var sum, rows int64
+	s.rangesMu.RLock()
+	ranges := append([]*mainRange(nil), s.ranges...)
+	s.rangesMu.RUnlock()
+	for _, r := range ranges {
+		r.latches[col].RLock()
+		for sl := 0; sl < r.used; sl++ {
+			cur := r.start[sl]
+			cts, st := s.tm.Resolve(cur)
+			if st == txn.StatusCommitted && cts <= ts {
+				v := r.cols[col][sl]
+				if v != types.NullSlot {
+					sum += types.DecodeInt64(v)
+					rows++
+				}
+				continue
+			}
+			// Newer or uncommitted main image: walk history for the version
+			// visible at ts.
+			if v, ok := s.histValueAt(r, sl, col, ts); ok {
+				sum += types.DecodeInt64(v)
+				rows++
+			}
+		}
+		r.latches[col].RUnlock()
+	}
+	return sum, rows
+}
+
+// histValueAt walks slot's history chain for col's value at ts. Entries
+// touching col appear newest-first: the first whose version start is at or
+// before ts holds the value visible at ts. When no entry touches col, the
+// main value stands as long as the record itself existed at ts (its original
+// insert time is the start slot of the oldest entry, or the main start for
+// never-updated rows — that case is handled by the caller's fast path).
+func (s *Store) histValueAt(r *mainRange, sl, col int, ts types.Timestamp) (uint64, bool) {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	he := r.hist[sl]
+	var candidate uint64
+	have := false
+	rootStart := uint64(types.NullSlot)
+	for he >= 0 {
+		e := s.history[he]
+		rootStart = e.startSlot
+		if !have && e.cols&(1<<uint(col)) != 0 {
+			cts, st := s.tm.Resolve(e.startSlot)
+			if st == txn.StatusCommitted && cts <= ts {
+				vi := 0
+				for cc := 0; cc < col; cc++ {
+					if e.cols&(1<<uint(cc)) != 0 {
+						vi++
+					}
+				}
+				candidate = e.vals[vi]
+				have = true
+				break
+			}
+		}
+		he = e.prev
+	}
+	if !have {
+		// Column never changed at or before ts by any entry: the record's
+		// col value at ts is the current main value, valid if the record
+		// was born at or before ts.
+		if rootStart == types.NullSlot {
+			return 0, false // no history: caller's fast path already decided
+		}
+		cts, st := s.tm.Resolve(rootStart)
+		if st != txn.StatusCommitted || cts > ts {
+			return 0, false // record born after ts
+		}
+		candidate = r.cols[col][sl]
+	}
+	if candidate == types.NullSlot {
+		return 0, false
+	}
+	return candidate, true
+}
+
+// sortColsVals returns cols (and the matching vals) in ascending column
+// order — the canonical latch acquisition order.
+func sortColsVals(cols []int, vals []uint64) ([]int, []uint64) {
+	sorted := true
+	for i := 1; i < len(cols); i++ {
+		if cols[i] < cols[i-1] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return cols, vals
+	}
+	cc := append([]int(nil), cols...)
+	var vv []uint64
+	if vals != nil {
+		vv = append([]uint64(nil), vals...)
+	}
+	for i := 1; i < len(cc); i++ {
+		for j := i; j > 0 && cc[j] < cc[j-1]; j-- {
+			cc[j], cc[j-1] = cc[j-1], cc[j]
+			if vv != nil {
+				vv[j], vv[j-1] = vv[j-1], vv[j]
+			}
+		}
+	}
+	return cc, vv
+}
+
+// ScanSumSpan is ScanSum limited to the first span rows (the benchmark's
+// 10%-of-table analytical scans).
+func (s *Store) ScanSumSpan(ts types.Timestamp, col int, span int) (int64, int64) {
+	var sum, rows int64
+	remaining := span
+	s.rangesMu.RLock()
+	ranges := append([]*mainRange(nil), s.ranges...)
+	s.rangesMu.RUnlock()
+	for _, r := range ranges {
+		if remaining <= 0 {
+			break
+		}
+		r.latches[col].RLock()
+		n := r.used
+		if n > remaining {
+			n = remaining
+		}
+		for sl := 0; sl < n; sl++ {
+			cur := r.start[sl]
+			cts, st := s.tm.Resolve(cur)
+			if st == txn.StatusCommitted && cts <= ts {
+				v := r.cols[col][sl]
+				if v != types.NullSlot {
+					sum += types.DecodeInt64(v)
+					rows++
+				}
+				continue
+			}
+			if v, ok := s.histValueAt(r, sl, col, ts); ok {
+				sum += types.DecodeInt64(v)
+				rows++
+			}
+		}
+		remaining -= n
+		r.latches[col].RUnlock()
+	}
+	return sum, rows
+}
+
+// NumHistory returns history-table length (introspection).
+func (s *Store) NumHistory() int {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	return len(s.history)
+}

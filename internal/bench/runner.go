@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lstore/internal/txn"
+	"lstore/internal/workload"
+)
+
+// RunConfig describes one measurement run.
+type RunConfig struct {
+	Engine        Engine
+	Workload      workload.Config
+	UpdateThreads int
+	ScanThreads   int
+	Duration      time.Duration
+	// ReadsPerTxn/WritesPerTxn override the workload's txn shape when
+	// non-negative (Figure 9 sweeps). -1 keeps defaults.
+	ReadsPerTxn  int
+	WritesPerTxn int
+	// PointReadPctCols, when > 0, replaces update txns with 10-statement
+	// point-read txns fetching that % of columns (Table 9).
+	PointReadPctCols int
+	// Seed differentiates runs.
+	Seed int64
+}
+
+// Result aggregates a run's measurements.
+type Result struct {
+	Committed uint64
+	Aborted   uint64
+	Elapsed   time.Duration
+	// TxnsPerSec is committed short transactions per second.
+	TxnsPerSec float64
+	// Scans and ScanAvg describe the analytical side.
+	Scans       uint64
+	ScanAvg     time.Duration
+	ScansPerSec float64
+}
+
+// Run preconditions: Engine already preloaded. It spawns UpdateThreads
+// short-transaction workers and ScanThreads snapshot scanners, runs for
+// Duration, and returns the aggregate.
+func Run(cfg RunConfig) Result {
+	var committed, aborted, scans atomic.Uint64
+	var scanNanos atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	nr, nw := cfg.Workload.ReadsPerTxn, cfg.Workload.WritesPerTxn
+	if cfg.ReadsPerTxn >= 0 && cfg.WritesPerTxn >= 0 {
+		nr, nw = cfg.ReadsPerTxn, cfg.WritesPerTxn
+	}
+
+	for w := 0; w < cfg.UpdateThreads; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			gen := workload.NewGenerator(cfg.Workload, seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var ops []workload.Op
+				if cfg.PointReadPctCols > 0 {
+					ops = gen.PointReadTxn(10, cfg.PointReadPctCols)
+				} else {
+					ops = gen.MixedTxn(nr, nw)
+				}
+				if runTxn(cfg.Engine, ops) {
+					committed.Add(1)
+				} else {
+					aborted.Add(1)
+				}
+			}
+		}(cfg.Seed + int64(w))
+	}
+
+	span := cfg.Workload.ScanSpan()
+	for sThread := 0; sThread < cfg.ScanThreads; sThread++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				// Long-running read-only transaction under snapshot
+				// isolation (§6.1): DBM's adapter holds the drain latch for
+				// its duration via Begin/Abort.
+				t := cfg.Engine.Begin(txn.Snapshot)
+				cfg.Engine.ScanSum(t.Begin, 1, span)
+				cfg.Engine.Abort(t) // read-only: abort == cheap commit
+				scanNanos.Add(uint64(time.Since(t0)))
+				scans.Add(1)
+			}
+		}()
+	}
+
+	// Maintenance ticker (DBM's merge thread; no-op elsewhere).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				cfg.Engine.Maintain()
+			}
+		}
+	}()
+
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{
+		Committed: committed.Load(),
+		Aborted:   aborted.Load(),
+		Scans:     scans.Load(),
+		Elapsed:   elapsed,
+	}
+	res.TxnsPerSec = float64(res.Committed) / elapsed.Seconds()
+	if res.Scans > 0 {
+		res.ScanAvg = time.Duration(scanNanos.Load() / res.Scans)
+		res.ScansPerSec = float64(res.Scans) / elapsed.Seconds()
+	}
+	return res
+}
+
+// RunOneTxn executes one short transaction against e; false = aborted
+// (conflict). Exposed for the repository-level benchmarks.
+func RunOneTxn(e Engine, ops []workload.Op) bool { return runTxn(e, ops) }
+
+// runTxn executes one short transaction; false = aborted (conflict).
+func runTxn(e Engine, ops []workload.Op) bool {
+	t := e.Begin(txn.ReadCommitted)
+	for i := range ops {
+		op := &ops[i]
+		if op.Write {
+			if err := e.Update(t, op.Key, op.Cols, op.Vals); err != nil {
+				e.Abort(t)
+				return false
+			}
+		} else {
+			if !e.Read(t, op.Key, op.Cols) {
+				e.Abort(t)
+				return false
+			}
+		}
+	}
+	return e.Commit(t) == nil
+}
+
+// MeasureScan runs a single scan and reports its duration (Figure 8 /
+// Tables 7–8 measure scan latency directly).
+func MeasureScan(e Engine, w workload.Config) time.Duration {
+	t := e.Begin(txn.Snapshot)
+	t0 := time.Now()
+	e.ScanSum(t.Begin, 1, w.ScanSpan())
+	d := time.Since(t0)
+	e.Abort(t)
+	return d
+}

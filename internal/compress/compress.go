@@ -1,0 +1,195 @@
+// Package compress is L-Store's codec toolbox. Base pages created by the
+// merge process are compressed column-wise (§4.1 step 3: "any compression
+// algorithm ... can be applied on the consolidated pages on column basis"),
+// and historic tail pages are delta-compressed across inlined versions
+// (§4.3). This package provides the primitives those layers compose:
+//
+//   - zigzag + varint integer coding,
+//   - frame-of-reference bit-packing for dense slot vectors,
+//   - run-length encoding for low-cardinality vectors,
+//   - dictionary building for string columns,
+//   - delta coding across version chains.
+//
+// All codecs round-trip exactly and are deterministic; the merge process is
+// idempotent (§5.1.3) so the codecs must be too.
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// ZigZag maps signed deltas to unsigned so small magnitudes stay small.
+func ZigZag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// UnZigZag inverts ZigZag.
+func UnZigZag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// PutUvarint appends v to dst using unsigned LEB128.
+func PutUvarint(dst []byte, v uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	return append(dst, buf[:n]...)
+}
+
+// Uvarint reads a uvarint from src, returning the value and bytes consumed.
+func Uvarint(src []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("compress: truncated uvarint")
+	}
+	return v, n, nil
+}
+
+// DeltaEncode appends the zigzag-varint coding of vals (first value absolute,
+// the rest as deltas) to dst. Used for inlined version chains of historic
+// tail records and for Start Time columns, both of which are near-sorted.
+func DeltaEncode(dst []byte, vals []uint64) []byte {
+	dst = PutUvarint(dst, uint64(len(vals)))
+	prev := uint64(0)
+	for _, v := range vals {
+		dst = PutUvarint(dst, ZigZag(int64(v-prev)))
+		prev = v
+	}
+	return dst
+}
+
+// DeltaDecode inverts DeltaEncode, returning the values and bytes consumed.
+func DeltaDecode(src []byte) ([]uint64, int, error) {
+	n, off, err := Uvarint(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	vals := make([]uint64, 0, n)
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		d, m, err := Uvarint(src[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("compress: delta stream truncated at %d/%d", i, n)
+		}
+		off += m
+		prev += uint64(UnZigZag(d))
+		vals = append(vals, prev)
+	}
+	return vals, off, nil
+}
+
+// BitWidth returns the number of bits needed to represent v (0 for v==0).
+func BitWidth(v uint64) int { return bits.Len64(v) }
+
+// PackBits packs each value of vals into width bits, little-endian within a
+// uint64 word stream. Callers guarantee every value fits in width bits.
+func PackBits(vals []uint64, width int) []uint64 {
+	if width == 0 {
+		return nil
+	}
+	totalBits := len(vals) * width
+	words := make([]uint64, (totalBits+63)/64)
+	bitPos := 0
+	for _, v := range vals {
+		w, b := bitPos/64, bitPos%64
+		words[w] |= v << uint(b)
+		if b+width > 64 {
+			words[w+1] |= v >> uint(64-b)
+		}
+		bitPos += width
+	}
+	return words
+}
+
+// UnpackBit extracts the i-th width-bit value from a PackBits stream.
+func UnpackBit(words []uint64, width, i int) uint64 {
+	if width == 0 {
+		return 0
+	}
+	bitPos := i * width
+	w, b := bitPos/64, bitPos%64
+	v := words[w] >> uint(b)
+	if b+width > 64 {
+		v |= words[w+1] << uint(64-b)
+	}
+	if width == 64 {
+		return v
+	}
+	return v & (1<<uint(width) - 1)
+}
+
+// UnpackBits expands the whole stream (n values).
+func UnpackBits(words []uint64, width, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = UnpackBit(words, width, i)
+	}
+	return out
+}
+
+// Run is one RLE run.
+type Run struct {
+	Value uint64
+	Count uint32
+}
+
+// RLEncode run-length encodes vals.
+func RLEncode(vals []uint64) []Run {
+	var runs []Run
+	for _, v := range vals {
+		if n := len(runs); n > 0 && runs[n-1].Value == v && runs[n-1].Count < ^uint32(0) {
+			runs[n-1].Count++
+			continue
+		}
+		runs = append(runs, Run{Value: v, Count: 1})
+	}
+	return runs
+}
+
+// RLDecode expands runs.
+func RLDecode(runs []Run) []uint64 {
+	total := 0
+	for _, r := range runs {
+		total += int(r.Count)
+	}
+	out := make([]uint64, 0, total)
+	for _, r := range runs {
+		for i := uint32(0); i < r.Count; i++ {
+			out = append(out, r.Value)
+		}
+	}
+	return out
+}
+
+// Dict is an order-of-first-appearance dictionary for slot vectors. It is
+// built once at merge time and immutable afterwards.
+type Dict struct {
+	codes  map[uint64]uint32
+	values []uint64
+}
+
+// BuildDict builds a dictionary over vals and returns it along with the
+// code vector.
+func BuildDict(vals []uint64) (*Dict, []uint32) {
+	d := &Dict{codes: make(map[uint64]uint32)}
+	codes := make([]uint32, len(vals))
+	for i, v := range vals {
+		c, ok := d.codes[v]
+		if !ok {
+			c = uint32(len(d.values))
+			d.codes[v] = c
+			d.values = append(d.values, v)
+		}
+		codes[i] = c
+	}
+	return d, codes
+}
+
+// Size returns the number of distinct values.
+func (d *Dict) Size() int { return len(d.values) }
+
+// Value returns the value for a code.
+func (d *Dict) Value(code uint32) uint64 { return d.values[code] }
+
+// Code returns the code for a value, if present.
+func (d *Dict) Code(v uint64) (uint32, bool) {
+	c, ok := d.codes[v]
+	return c, ok
+}

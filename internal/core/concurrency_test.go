@@ -1,0 +1,402 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"lstore/internal/txn"
+	"lstore/internal/types"
+)
+
+// TestConcurrentWritersWithMergeAndScans is the integration stress test:
+// several writer goroutines run short update transactions against a shared
+// key set while a merge worker consolidates and scan goroutines verify an
+// invariant — the table-wide sum of column A equals the sum implied by the
+// committed counter increments, at every snapshot.
+func TestConcurrentWritersWithMergeAndScans(t *testing.T) {
+	cfg := Config{
+		RangeSize:         256,
+		TailBlockSize:     64,
+		MergeBatch:        64,
+		CumulativeUpdates: true,
+		AutoMerge:         true,
+	}
+	s, err := NewStore(testSchema(), cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nKeys = 256
+	mustCommit(t, s, func(tx *txn.Txn) {
+		for i := int64(0); i < nKeys; i++ {
+			insertRow(t, s, tx, i, 0, 0, 0)
+		}
+	})
+
+	// Writers: each committed transaction adds exactly +1 to one record's A
+	// column (read-modify-write) under serializable isolation, so read
+	// validation turns every lost update into an abort and the committed
+	// increment count exactly predicts the table sum.
+	var committedIncrements atomic.Int64
+	var aborted atomic.Int64
+	var wg sync.WaitGroup
+	const writers, opsPerWriter = 4, 400
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for op := 0; op < opsPerWriter; op++ {
+				key := rng.Int63n(nKeys)
+				tx := s.tm.Begin(txn.Serializable)
+				vals, ok, err := s.Get(tx, key, []int{1})
+				if err != nil || !ok {
+					t.Errorf("get %d: %v %v", key, ok, err)
+					s.tm.Abort(tx)
+					return
+				}
+				err = s.Update(tx, key, []int{1}, []types.Value{types.IntValue(vals[0].Int() + 1)})
+				if err != nil {
+					s.tm.Abort(tx)
+					aborted.Add(1)
+					continue
+				}
+				if err := s.tm.Commit(tx); err != nil {
+					aborted.Add(1)
+					continue
+				}
+				committedIncrements.Add(1)
+			}
+		}(int64(w) + 42)
+	}
+
+	// Scanners: snapshot sums must never exceed the committed total at the
+	// time the snapshot was taken, and must be monotone in snapshot time.
+	scanErr := make(chan error, 1)
+	var scanWG sync.WaitGroup
+	stop := make(chan struct{})
+	for sc := 0; sc < 2; sc++ {
+		scanWG.Add(1)
+		go func() {
+			defer scanWG.Done()
+			var lastSum int64 = -1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				before := committedIncrements.Load()
+				ts := s.tm.Now()
+				sum, rows := s.ScanSum(ts, 1)
+				after := committedIncrements.Load()
+				_ = before
+				if rows != nKeys {
+					select {
+					case scanErr <- errf("scan saw %d rows, want %d", rows, nKeys):
+					default:
+					}
+					return
+				}
+				// The snapshot's sum can't exceed all increments committed
+				// by the time the scan finished.
+				if sum > after {
+					select {
+					case scanErr <- errf("snapshot sum %d exceeds committed %d", sum, after):
+					default:
+					}
+					return
+				}
+				if sum < lastSum {
+					// Not strictly monotone across different snapshots taken
+					// by the same goroutine? It is: ts increases and updates
+					// only add +1.
+					select {
+					case scanErr <- errf("snapshot sums went backwards: %d after %d", sum, lastSum):
+					default:
+					}
+					return
+				}
+				lastSum = sum
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	scanWG.Wait()
+	select {
+	case err := <-scanErr:
+		t.Fatal(err)
+	default:
+	}
+
+	// Quiesced: final sum equals committed increments exactly.
+	finalSum, _ := s.ScanSum(s.tm.Now(), 1)
+	if finalSum != committedIncrements.Load() {
+		t.Fatalf("final sum %d != committed increments %d (aborted=%d)",
+			finalSum, committedIncrements.Load(), aborted.Load())
+	}
+	s.Close()
+	// And again after draining all merges.
+	finalSum2, _ := s.ScanSum(s.tm.Now(), 1)
+	if finalSum2 != finalSum {
+		t.Fatalf("sum changed across close: %d -> %d", finalSum, finalSum2)
+	}
+	if aborted.Load() == 0 {
+		t.Log("note: no write-write conflicts occurred (timing-dependent)")
+	}
+}
+
+func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }
+
+// TestConcurrentInsertersUniqueKeys: concurrent inserters racing on
+// overlapping key sets must never both succeed for one key.
+func TestConcurrentInsertersUniqueKeys(t *testing.T) {
+	cfg := testConfig()
+	cfg.RangeSize = 512
+	cfg.TailBlockSize = 64
+	s := newTestStore(t, cfg)
+	const nKeys = 300
+	var wins atomic.Int64
+	var dups atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := int64(0); k < nKeys; k++ {
+				tx := s.tm.Begin(txn.ReadCommitted)
+				err := s.Insert(tx, []types.Value{
+					types.IntValue(k), types.IntValue(int64(w)), types.IntValue(0), types.IntValue(0),
+				})
+				if err != nil {
+					s.tm.Abort(tx)
+					dups.Add(1)
+					continue
+				}
+				if err := s.tm.Commit(tx); err != nil {
+					dups.Add(1)
+					continue
+				}
+				wins.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if wins.Load() != nKeys {
+		t.Fatalf("committed inserts = %d, want exactly %d", wins.Load(), nKeys)
+	}
+	// Every key readable exactly once.
+	for k := int64(0); k < nKeys; k++ {
+		if _, ok := getRow(t, s, k); !ok {
+			t.Fatalf("key %d missing", k)
+		}
+	}
+	_, rows := s.ScanSum(s.tm.Now(), 1)
+	if rows != nKeys {
+		t.Fatalf("scan rows = %d, want %d", rows, nKeys)
+	}
+}
+
+// TestConcurrentReadersDuringMerge hammers point reads while merges run;
+// readers must always see each record's committed value.
+func TestConcurrentReadersDuringMerge(t *testing.T) {
+	cfg := testConfig()
+	cfg.RangeSize = 128
+	cfg.TailBlockSize = 32
+	cfg.MergeBatch = 16
+	s := newTestStore(t, cfg)
+	mustCommit(t, s, func(tx *txn.Txn) {
+		for i := int64(0); i < 128; i++ {
+			insertRow(t, s, tx, i, i, 0, 0)
+		}
+	})
+	s.TrySeal(s.rangeAt(0))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// One writer keeps bumping values by +1000 (value = key + 1000*version).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := int64(1); v <= 20; v++ {
+			mustCommit(t, s, func(tx *txn.Txn) {
+				for i := int64(0); i < 128; i += 8 {
+					if err := s.Update(tx, i, []int{1}, []types.Value{types.IntValue(i + 1000*v)}); err != nil {
+						t.Errorf("update: %v", err)
+						return
+					}
+				}
+			})
+		}
+	}()
+	// Merge thread.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.ForceMerge()
+		}
+	}()
+	// Readers: A mod 1000 must always equal the key.
+	for rd := 0; rd < 2; rd++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := rng.Int63n(128)
+				got, ok := getRow(t, s, key)
+				if !ok {
+					t.Errorf("key %d vanished", key)
+					return
+				}
+				if got[0]%1000 != key {
+					t.Errorf("key %d read torn value %d", key, got[0])
+					return
+				}
+			}
+		}(int64(rd))
+	}
+	// Wait until the writer's final round is visible, then stop the rest.
+	for {
+		got, _ := getRow(t, s, 0)
+		if got != nil && got[0] == 20000 {
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestQuickCheckRandomOpSequences drives random single-threaded op
+// sequences against a model map; engine state must match the model exactly.
+func TestQuickCheckRandomOpSequences(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{RangeSize: 32, TailBlockSize: 16, MergeBatch: 8, CumulativeUpdates: seed%2 == 0}
+		s, err := NewStore(testSchema(), cfg, nil, nil)
+		if err != nil {
+			return false
+		}
+		defer s.Close()
+		type row struct{ a, b, c int64 }
+		model := make(map[int64]*row)
+		for op := 0; op < 120; op++ {
+			key := rng.Int63n(20)
+			switch rng.Intn(6) {
+			case 0, 1: // insert
+				tx := s.tm.Begin(txn.ReadCommitted)
+				err := s.Insert(tx, []types.Value{
+					types.IntValue(key), types.IntValue(key * 2), types.IntValue(key * 3), types.IntValue(key * 4),
+				})
+				if model[key] != nil {
+					if err != ErrDuplicateKey {
+						t.Logf("op %d: dup insert err = %v", op, err)
+						return false
+					}
+					s.tm.Abort(tx)
+				} else {
+					if err != nil {
+						t.Logf("op %d: insert err = %v", op, err)
+						return false
+					}
+					if s.tm.Commit(tx) != nil {
+						return false
+					}
+					model[key] = &row{a: key * 2, b: key * 3, c: key * 4}
+				}
+			case 2, 3: // update
+				tx := s.tm.Begin(txn.ReadCommitted)
+				col := 1 + rng.Intn(3)
+				val := rng.Int63n(1000)
+				err := s.Update(tx, key, []int{col}, []types.Value{types.IntValue(val)})
+				if model[key] == nil {
+					if err != ErrNotFound {
+						t.Logf("op %d: update missing err = %v", op, err)
+						return false
+					}
+					s.tm.Abort(tx)
+				} else {
+					if err != nil || s.tm.Commit(tx) != nil {
+						t.Logf("op %d: update err = %v", op, err)
+						return false
+					}
+					switch col {
+					case 1:
+						model[key].a = val
+					case 2:
+						model[key].b = val
+					case 3:
+						model[key].c = val
+					}
+				}
+			case 4: // delete
+				tx := s.tm.Begin(txn.ReadCommitted)
+				err := s.Delete(tx, key)
+				if model[key] == nil {
+					if err != ErrNotFound {
+						return false
+					}
+					s.tm.Abort(tx)
+				} else {
+					if err != nil || s.tm.Commit(tx) != nil {
+						return false
+					}
+					delete(model, key)
+				}
+			case 5: // merge / compress at random points
+				if rng.Intn(2) == 0 {
+					s.ForceMerge()
+				} else {
+					s.CompressHistory()
+				}
+			}
+		}
+		s.ForceMerge()
+		// Verify every key against the model.
+		for key := int64(0); key < 20; key++ {
+			got, ok := getRow(nil2t(t), s, key)
+			m := model[key]
+			if (m != nil) != ok {
+				t.Logf("seed %d: key %d exists=%v model=%v", seed, key, ok, m != nil)
+				return false
+			}
+			if m != nil && (got[0] != m.a || got[1] != m.b || got[2] != m.c) {
+				t.Logf("seed %d: key %d = %v, model %+v", seed, key, got, *m)
+				return false
+			}
+		}
+		// Scan agrees with the model sum.
+		var wantSum int64
+		for _, r := range model {
+			wantSum += r.a
+		}
+		sum, rows := s.ScanSum(s.tm.Now(), 1)
+		if sum != wantSum || int(rows) != len(model) {
+			t.Logf("seed %d: scan %d/%d want %d/%d", seed, sum, rows, wantSum, len(model))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// nil2t lets the helper accept the same *testing.T within quick.Check.
+func nil2t(t *testing.T) *testing.T { return t }

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sync"
+
+	"lstore/internal/types"
+)
+
+// stringDict is the per-column string dictionary. String columns are
+// dictionary-encoded into slots at the API boundary; the dictionary is
+// append-only (codes are never reassigned), so slot values remain stable
+// across merges and historic compression.
+type stringDict struct {
+	mu     sync.RWMutex
+	toCode map[string]uint64
+	vals   []string
+}
+
+func newStringDict() *stringDict {
+	return &stringDict{toCode: make(map[string]uint64)}
+}
+
+// encode returns the code for s, assigning a new one if needed.
+func (d *stringDict) encode(s string) uint64 {
+	d.mu.RLock()
+	c, ok := d.toCode[s]
+	d.mu.RUnlock()
+	if ok {
+		return c
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := d.toCode[s]; ok {
+		return c
+	}
+	c = uint64(len(d.vals))
+	d.toCode[s] = c
+	d.vals = append(d.vals, s)
+	return c
+}
+
+// decode returns the string for a code; unknown codes (impossible through
+// the public API) decode to "".
+func (d *stringDict) decode(c uint64) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if c >= uint64(len(d.vals)) {
+		return ""
+	}
+	return d.vals[c]
+}
+
+// lookup returns the code for s without assigning.
+func (d *stringDict) lookup(s string) (uint64, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	c, ok := d.toCode[s]
+	return c, ok
+}
+
+// size returns the number of distinct strings.
+func (d *stringDict) size() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.vals)
+}
+
+// encodeValue converts a typed value to its slot representation for column
+// col, building dictionary entries as needed.
+func (s *Store) encodeValue(col int, v types.Value) (uint64, error) {
+	if v.IsNull() {
+		return types.NullSlot, nil
+	}
+	switch s.schema.Cols[col].Type {
+	case types.Int64:
+		if v.Kind() != types.Int64 {
+			return 0, ErrBadValue
+		}
+		return types.EncodeInt64(v.Int()), nil
+	case types.String:
+		if v.Kind() != types.String {
+			return 0, ErrBadValue
+		}
+		return s.dicts[col].encode(v.Str()), nil
+	}
+	return 0, ErrBadValue
+}
+
+// decodeValue converts a slot back to a typed value for column col.
+func (s *Store) decodeValue(col int, slot uint64) types.Value {
+	if slot == types.NullSlot {
+		return types.NullValue()
+	}
+	switch s.schema.Cols[col].Type {
+	case types.Int64:
+		return types.IntValue(types.DecodeInt64(slot))
+	case types.String:
+		return types.StringValue(s.dicts[col].decode(slot))
+	}
+	return types.NullValue()
+}

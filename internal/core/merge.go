@@ -1,0 +1,529 @@
+package core
+
+import (
+	"lstore/internal/page"
+	"lstore/internal/txn"
+	"lstore/internal/types"
+)
+
+// This file implements §4: the contention-free, relaxed merge.
+//
+// Writers enqueue ranges whose unmerged committed tail backlog crossed the
+// MergeBatch threshold; the merge worker drains the queue in the background
+// (Figure 5). A merge:
+//
+//  1. identifies a consecutive prefix of committed tail records,
+//  2. loads the outdated base pages (only of updated columns),
+//  3. consolidates them by applying the newest value per (record, column)
+//     in a reverse scan (Algorithm 1), skipping pre-image snapshot records
+//     and aborted tombstones,
+//  4. swaps the per-column version pointers (the only foreground action),
+//  5. retires the outdated pages through the epoch manager.
+//
+// The Indirection column is never read or written by the merge; writers keep
+// appending and readers keep reading throughout. TPS — the RID of the last
+// consolidated tail record — is stamped into every new column version.
+// Columns may merge independently (§4.2): each column keeps its own merge
+// cursor, and re-applying an already-consolidated record is idempotent, so
+// full merges and per-column merges compose freely.
+
+// maybeEnqueueMerge queues r for background merging when its backlog is due.
+func (s *Store) maybeEnqueueMerge(r *updateRange) {
+	if !s.cfg.AutoMerge || s.closed.Load() {
+		return
+	}
+	needsSeal := !r.sealed.Load() && r.insertFull()
+	if r.pendingTail() < int64(s.cfg.MergeBatch) && !needsSeal {
+		return
+	}
+	if r.inQueue.CompareAndSwap(false, true) {
+		select {
+		case s.mergeQ <- r:
+		default:
+			r.inQueue.Store(false) // queue full; a later writer re-enqueues
+		}
+	}
+}
+
+// pendingTail estimates unconsumed tail records (appended minus the most
+// advanced column cursor; an un-merged column keeps the backlog visible).
+func (r *updateRange) pendingTail() int64 {
+	r.mergeMu.Lock()
+	defer r.mergeMu.Unlock()
+	return r.appended.Load() - r.minCursorLocked()
+}
+
+// insertFull reports whether the insert range has handed out every base RID.
+func (r *updateRange) insertFull() bool {
+	ib := r.insertBlock.Load()
+	return ib == nil || ib.rids.Used() >= r.n
+}
+
+// mergeWorker is the dedicated merge thread (§6.1 runs exactly one).
+func (s *Store) mergeWorker() {
+	defer s.mergeWG.Done()
+	for r := range s.mergeQ {
+		r.inQueue.Store(false)
+		if !r.sealed.Load() {
+			s.TrySeal(r)
+		}
+		if r.sealed.Load() {
+			if s.cfg.MergeColumnsIndependently {
+				for c := 0; c < s.schema.NumCols(); c++ {
+					s.mergeRange(r, c)
+				}
+			} else {
+				s.mergeRange(r, -1)
+			}
+		}
+		s.em.TryReclaim()
+		// Forget finished transactions whose Start Time slots have all been
+		// lazily swapped (§5.1.1's transaction-manager hashtable hygiene).
+		s.tm.Sweep()
+	}
+}
+
+func allColsMask(n int) uint64 { return 1<<uint(n) - 1 }
+
+// ---------------------------------------------------------------------------
+// Sealing an insert range (§3.2 "merging table-level tail-pages")
+
+// TrySeal converts a full insert range's table-level tail pages into
+// compressed read-only base pages (TPS 0). It requires every inserted record
+// resolved (committed or aborted); otherwise it reports false and the range
+// is re-enqueued by a later writer. Sealing moves the range "outside the
+// insert range", making it eligible for regular merges.
+func (s *Store) TrySeal(r *updateRange) bool {
+	r.mergeMu.Lock()
+	defer r.mergeMu.Unlock()
+	if r.sealed.Load() {
+		return true
+	}
+	ib := r.insertBlock.Load()
+	if ib == nil {
+		return false
+	}
+	used := ib.rids.Used()
+	if used < r.n {
+		return false // auto-seal only full ranges; ForceSeal handles tails
+	}
+	return s.sealLocked(r, ib, used)
+}
+
+// ForceSeal seals a partially filled insert range (tests, shutdown flushes).
+// Unfilled slots remain permanently invisible.
+func (s *Store) ForceSeal(r *updateRange) bool {
+	r.mergeMu.Lock()
+	defer r.mergeMu.Unlock()
+	if r.sealed.Load() {
+		return true
+	}
+	ib := r.insertBlock.Load()
+	if ib == nil {
+		return false
+	}
+	return s.sealLocked(r, ib, ib.rids.Used())
+}
+
+func (s *Store) sealLocked(r *updateRange, ib *tailBlock, used int) bool {
+	n := r.n
+	// Every published record must be resolved; pending writers or
+	// unresolved transactions defer the seal.
+	starts := make([]uint64, n)
+	for i := 0; i < used; i++ {
+		raw := ib.startTime.Load(i)
+		if raw == types.NullSlot {
+			starts[i] = types.NullSlot // aborted or neutralized slot
+			continue
+		}
+		ts, st := s.tm.Resolve(raw)
+		switch st {
+		case txn.StatusCommitted:
+			starts[i] = ts
+			if types.IsTxnID(raw) {
+				if t, ok := s.tm.Lookup(raw); ok && ib.startTime.CompareAndSwap(i, raw, ts) {
+					t.NoteSwapped()
+				}
+			}
+		case txn.StatusAborted:
+			starts[i] = types.NullSlot
+		default:
+			return false // still in flight
+		}
+	}
+	for i := used; i < n; i++ {
+		starts[i] = types.NullSlot
+	}
+
+	ncols := s.schema.NumCols()
+	if s.cfg.Layout == RowLayout {
+		slab := make([]uint64, n*ncols)
+		for c := 0; c < ncols; c++ {
+			p := ib.dataPage(c, false)
+			for i := 0; i < n; i++ {
+				v := types.NullSlot
+				if p != nil && i < used && starts[i] != types.NullSlot {
+					v = p.Load(i)
+				}
+				slab[i*ncols+c] = v
+			}
+		}
+		for c := 0; c < ncols; c++ {
+			r.cols[c].Store(&colVersion{tps: 0, data: rowView{data: slab, ncols: ncols, col: c, n: n}})
+		}
+	} else {
+		for c := 0; c < ncols; c++ {
+			vals := make([]uint64, n)
+			p := ib.dataPage(c, false)
+			for i := 0; i < n; i++ {
+				if p != nil && i < used && starts[i] != types.NullSlot {
+					vals[i] = p.Load(i)
+				} else {
+					vals[i] = types.NullSlot
+				}
+			}
+			r.cols[c].Store(&colVersion{tps: 0, data: page.Encode(vals)})
+		}
+	}
+
+	nulls := make([]uint64, n)
+	zeros := make([]uint64, n)
+	for i := range nulls {
+		nulls[i] = types.NullSlot
+	}
+	r.meta.Store(&metaVersion{
+		tps:         0,
+		startTime:   page.Encode(starts),
+		lastUpdated: page.Encode(nulls),
+		schemaEnc:   page.Encode(zeros),
+	})
+	r.sealed.Store(true)
+
+	// Step 5 for table-level tail pages: unlike regular tail pages they are
+	// discarded permanently once pre-seal readers drain (§4.1).
+	r.insertBlock.Store(nil)
+	s.em.Retire(func() { s.stats.PagesReclaimed.Add(1) })
+	s.stats.Seals.Add(1)
+	return true
+}
+
+// rowView adapts a row-major slab to the per-column page.Reader interface;
+// it is the L-Store (Row) layout of Tables 8 and 9. Point reads touch one
+// cache line per record; scans stride by the schema width.
+type rowView struct {
+	data  []uint64
+	ncols int
+	col   int
+	n     int
+}
+
+func (v rowView) Get(i int) uint64 { return v.data[i*v.ncols+v.col] }
+func (v rowView) Len() int         { return v.n }
+func (v rowView) Kind() page.Kind  { return page.KindRaw }
+func (v rowView) MemWords() int    { return v.n }
+
+// ---------------------------------------------------------------------------
+// The relaxed merge (§4.1)
+
+// mergedTail is one resolved tail record staged for consolidation.
+type mergedTail struct {
+	rid     types.RID
+	enc     uint64
+	ts      types.Timestamp
+	aborted bool
+	block   *tailBlock
+	slotIdx int
+}
+
+// collectPrefixLocked returns up to limit resolved tail records starting at
+// flat position from: records are included while their transactions are
+// committed or aborted; the first in-flight (or unpublished) record stops
+// the scan — "a set of consecutive fully committed tail records" (§4.1).
+func (s *Store) collectPrefixLocked(r *updateRange, from int64, limit int) []mergedTail {
+	blocksPtr := r.tailBlocks.Load()
+	blocks := *blocksPtr
+	out := make([]mergedTail, 0, limit)
+	tbs := int64(s.cfg.TailBlockSize)
+	for pos := from; pos < from+int64(limit); pos++ {
+		bi := pos / tbs
+		if bi >= int64(len(blocks)) || blocks[bi] == nil {
+			break
+		}
+		b := blocks[bi]
+		sl := int(pos % tbs)
+		if b.indirection.Load(sl) == types.NullSlot {
+			break // reserved but unpublished
+		}
+		raw := b.startTime.Load(sl)
+		_, ts, st := s.resolveSlot(raw, func() uint64 { return b.startTime.Load(sl) })
+		switch st {
+		case txn.StatusCommitted:
+			out = append(out, mergedTail{
+				rid: b.rids.First + types.RID(sl), enc: b.schemaEnc.Load(sl),
+				ts: ts, block: b, slotIdx: sl,
+			})
+		case txn.StatusAborted:
+			out = append(out, mergedTail{
+				rid: b.rids.First + types.RID(sl), enc: b.schemaEnc.Load(sl),
+				aborted: true, block: b, slotIdx: sl,
+			})
+		default:
+			return out
+		}
+	}
+	return out
+}
+
+// minCursorLocked returns the least-advanced merge cursor across columns.
+func (r *updateRange) minCursorLocked() int64 {
+	if len(r.colCursor) == 0 {
+		return 0
+	}
+	min := r.colCursor[0]
+	for _, v := range r.colCursor[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// mergeRange consolidates the committed tail prefix into new base versions.
+// col == -1 merges every column together (and refreshes the merge-maintained
+// meta-columns); col >= 0 merges that column independently with its own
+// cursor and TPS (§4.2). Returns the number of tail records consumed.
+func (s *Store) mergeRange(r *updateRange, col int) int {
+	r.mergeMu.Lock()
+	defer r.mergeMu.Unlock()
+	if !r.sealed.Load() {
+		return 0 // base records must be outside the insert range (§3.2)
+	}
+	ncols := s.schema.NumCols()
+	var from int64
+	if col >= 0 {
+		from = r.colCursor[col]
+	} else {
+		from = r.minCursorLocked()
+	}
+	prefix := s.collectPrefixLocked(r, from, 4*s.cfg.MergeBatch)
+	if len(prefix) == 0 {
+		return 0
+	}
+	newTPS := prefix[len(prefix)-1].rid
+	end := from + int64(len(prefix))
+
+	var targets uint64
+	if col >= 0 {
+		targets = 1 << uint(col)
+	} else {
+		targets = allColsMask(ncols)
+	}
+
+	// Steps 2–3: copy the outdated pages of target columns and apply the
+	// newest resolved value per (record, column), scanning in reverse.
+	var rowSlab []uint64
+	work := make(map[int][]uint64) // col -> decompressed slots (column layout)
+	if s.cfg.Layout == RowLayout {
+		old := r.colVer(0).data.(rowView)
+		rowSlab = make([]uint64, len(old.data))
+		copy(rowSlab, old.data)
+	}
+	colVals := func(c int) []uint64 {
+		v, ok := work[c]
+		if !ok {
+			v = page.Decode(r.colVer(c).data)
+			work[c] = v
+		}
+		return v
+	}
+	set := func(c, slot int, v uint64) {
+		if rowSlab != nil {
+			rowSlab[slot*ncols+c] = v
+		} else {
+			colVals(c)[slot] = v
+		}
+	}
+
+	applied := make(map[int]uint64)            // slot -> column bits applied
+	appliedTS := make(map[int]types.Timestamp) // slot -> newest applied commit time
+	deleted := make(map[int]bool)
+	for i := len(prefix) - 1; i >= 0; i-- {
+		m := &prefix[i]
+		if m.aborted || m.enc&types.SchemaSnapshotFlag != 0 {
+			continue // tombstones and pre-images carry no new state
+		}
+		slot := int(types.RID(m.block.baseRID.Load(m.slotIdx)) - r.firstRID)
+		if slot < 0 || slot >= r.n {
+			continue
+		}
+		if _, seen := appliedTS[slot]; !seen {
+			appliedTS[slot] = m.ts
+		}
+		if m.enc&types.SchemaDeleteFlag != 0 {
+			if applied[slot] == 0 && !deleted[slot] {
+				deleted[slot] = true
+				for c := 0; c < ncols; c++ {
+					if targets&(1<<uint(c)) != 0 {
+						set(c, slot, types.NullSlot)
+					}
+				}
+				applied[slot] = allColsMask(ncols)
+			}
+			continue
+		}
+		newBits := m.enc & targets &^ applied[slot]
+		for c := 0; c < ncols && newBits != 0; c++ {
+			bit := uint64(1) << uint(c)
+			if newBits&bit == 0 {
+				continue
+			}
+			newBits &^= bit
+			rec := tailRecord{enc: m.enc, block: m.block, slotIdx: m.slotIdx}
+			if v, ok := rec.value(c); ok {
+				set(c, slot, v)
+			}
+			applied[slot] |= bit
+		}
+	}
+
+	// Step 4: compress and swap the page-directory pointers. Columns in the
+	// target set get the new TPS even when untouched by the prefix (a cheap
+	// lineage bump: none of the consumed records changed them).
+	for c := 0; c < ncols; c++ {
+		if targets&(1<<uint(c)) == 0 {
+			continue
+		}
+		old := r.colVer(c)
+		switch {
+		case rowSlab != nil:
+			r.cols[c].Store(&colVersion{tps: newTPS, data: rowView{data: rowSlab, ncols: ncols, col: c, n: r.n}})
+		default:
+			if v, ok := work[c]; ok {
+				r.cols[c].Store(&colVersion{tps: newTPS, data: page.Encode(v)})
+			} else {
+				r.cols[c].Store(&colVersion{tps: newTPS, data: old.data})
+			}
+		}
+		s.retireVersion(old)
+		if end > r.colCursor[c] {
+			r.colCursor[c] = end
+		}
+	}
+
+	// Merged deletes become visible to the point-read fast path.
+	for slot := range deleted {
+		r.setMergedDeleted(slot)
+	}
+
+	// Meta-columns: full merges refresh Last Updated Time and the base
+	// Schema Encoding (§2.2: "populated after the merge"); the original
+	// Start Time column is preserved.
+	if col < 0 {
+		if mv := r.meta.Load(); mv != nil {
+			last := page.Decode(mv.lastUpdated)
+			encs := page.Decode(mv.schemaEnc)
+			for slot, ts := range appliedTS {
+				if last[slot] == types.NullSlot || last[slot] < ts {
+					last[slot] = ts
+				}
+			}
+			for slot, bits := range applied {
+				if deleted[slot] {
+					encs[slot] |= types.SchemaDeleteFlag
+				}
+				encs[slot] |= bits &^ types.SchemaDeleteFlag
+			}
+			r.meta.Store(&metaVersion{
+				tps:         newTPS,
+				startTime:   mv.startTime,
+				lastUpdated: page.Encode(last),
+				schemaEnc:   page.Encode(encs),
+			})
+		}
+	}
+
+	s.stats.Merges.Add(1)
+	s.stats.MergedTailRecords.Add(uint64(len(prefix)))
+	return len(prefix)
+}
+
+// retireVersion hands an outdated base version to the epoch manager
+// (Figure 6, §4.1 step 5). The callback is bookkeeping: Go's GC performs the
+// actual free once the last pinned reader drops its reference, which the
+// epoch protocol guarantees has happened.
+func (s *Store) retireVersion(old *colVersion) {
+	if old == nil {
+		return
+	}
+	s.stats.PagesRetired.Add(1)
+	s.em.Retire(func() { s.stats.PagesReclaimed.Add(1) })
+}
+
+// ForceMerge runs full merges synchronously until every backlog is drained
+// (deterministic tests and benchmarks). It returns total records consumed.
+func (s *Store) ForceMerge() int {
+	total := 0
+	for i := 0; i < s.rangeCount(); i++ {
+		r := s.rangeAt(i)
+		if !r.sealed.Load() && r.insertFull() {
+			s.TrySeal(r)
+		}
+		if !r.sealed.Load() {
+			continue
+		}
+		for {
+			n := s.mergeRange(r, -1)
+			total += n
+			if n == 0 {
+				break
+			}
+		}
+	}
+	s.em.TryReclaim()
+	return total
+}
+
+// MergeColumn merges only the given column for range ri (the independent
+// per-column lineage of §4.2). Returns records consumed.
+func (s *Store) MergeColumn(ri, col int) int {
+	r := s.rangeAt(ri)
+	if !r.sealed.Load() && !s.TrySeal(r) {
+		return 0
+	}
+	return s.mergeRange(r, col)
+}
+
+// SealRange force-seals range ri (tests).
+func (s *Store) SealRange(ri int) bool { return s.ForceSeal(s.rangeAt(ri)) }
+
+// CheckTPSConsistency reports whether all columns of range ri share one TPS
+// (Lemma 3's detectability check: a reader assembling a multi-column base
+// snapshot verifies this before trusting base pages wholesale; on mismatch
+// it reconstructs per column from tail records, Theorem 2 — which is exactly
+// what readCols does by consulting each column's own TPS).
+func (s *Store) CheckTPSConsistency(ri int) (types.RID, bool) {
+	r := s.rangeAt(ri)
+	var tps types.RID
+	for c := 0; c < s.schema.NumCols(); c++ {
+		cv := r.colVer(c)
+		if cv == nil {
+			return 0, true // unsealed: trivially consistent (all TPS 0)
+		}
+		if c == 0 {
+			tps = cv.tps
+			continue
+		}
+		if cv.tps != tps {
+			return tps, false
+		}
+	}
+	return tps, true
+}
+
+// RangeTPS returns column col's TPS for range ri (introspection).
+func (s *Store) RangeTPS(ri, col int) types.RID {
+	if cv := s.rangeAt(ri).colVer(col); cv != nil {
+		return cv.tps
+	}
+	return 0
+}

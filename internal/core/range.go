@@ -1,0 +1,463 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lstore/internal/page"
+	"lstore/internal/txn"
+	"lstore/internal/types"
+)
+
+// colVersion is one column's read-only base page set for a range, stamped
+// with its in-page lineage counter (§4.2): tps is the RID of the newest tail
+// record whose effect is reflected in data. Versions are immutable; the
+// merge process swaps a new version in atomically.
+type colVersion struct {
+	tps  types.RID
+	data page.Reader // RangeSize slots
+}
+
+// metaVersion bundles the merge-maintained meta-columns of base records:
+// Start Time (original insertion time, preserved across merges), Last
+// Updated Time (populated by merge, §2.2) and the base-record Schema
+// Encoding (populated by merge).
+type metaVersion struct {
+	tps         types.RID
+	startTime   page.Reader // resolved insert commit times; ∅ = aborted insert
+	lastUpdated page.Reader // commit time of newest merged update; ∅ = never
+	schemaEnc   page.Reader // columns ever updated (merged view) + delete flag
+}
+
+// updateRange is one virtual partition of the table (§2.1): RangeSize
+// consecutive base RIDs with their base pages, indirection vector, tail
+// blocks, and lineage bookkeeping.
+type updateRange struct {
+	store    *Store
+	idx      int
+	firstRID types.RID
+	n        int
+
+	// indirection is the paper's table-embedded Indirection column for base
+	// records: the only in-place-updated base data. Bit 63 is the write
+	// latch; low bits hold the newest tail RID (0 = ⊥). Accessed exclusively
+	// through atomics.
+	indirection []uint64
+
+	// everUpdated is a live per-record bitmap of columns ever updated
+	// (including via uncommitted/aborted attempts); it gates the scan fast
+	// path. deletedBits marks records whose delete tombstone has been merged
+	// into base pages (gates the point-read fast path).
+	everUpdated []atomic.Uint64
+	deletedBits []atomic.Uint64 // bit per slot, packed 64/word
+
+	// Base versions. cols[i] is nil until the range is sealed; while nil the
+	// base values live in insertBlock (the table-level tail pages of §3.2).
+	cols []atomic.Pointer[colVersion]
+	meta atomic.Pointer[metaVersion]
+
+	insertBlock atomic.Pointer[tailBlock]
+	sealed      atomic.Bool
+
+	// Update-tail storage. tailBlocks is the ordered list of this range's
+	// tail blocks; appended under tmu. The flattened sequence of records
+	// across blocks is the range's tail-record order used by merge.
+	tmu        sync.Mutex
+	tailBlocks atomic.Pointer[[]*tailBlock]
+	cur        *tailBlock // guarded by tmu for rollover; Take itself is lock-free
+
+	// appended counts published tail records (high-watermark for merge
+	// scanning). colCursor[c] is the flat count of tail records column c's
+	// merges have consumed (guarded by mergeMu); full merges advance every
+	// cursor. inQueue deduplicates merge-queue entries.
+	appended  atomic.Int64
+	mergeMu   sync.Mutex
+	colCursor []int64
+	inQueue   atomic.Bool
+
+	// Historic compression state (§4.3): tail records with RID <= histUpto
+	// live in hist, and their blocks have been retired. histBlocks counts
+	// compressed blocks (guarded by mergeMu).
+	hist       atomic.Pointer[historyStore]
+	histUpto   atomic.Uint64
+	histBlocks int64
+}
+
+func newUpdateRange(s *Store, idx int, firstRID types.RID, n int) (*updateRange, error) {
+	r := &updateRange{
+		store:       s,
+		idx:         idx,
+		firstRID:    firstRID,
+		n:           n,
+		indirection: make([]uint64, n),
+		everUpdated: make([]atomic.Uint64, n),
+		deletedBits: make([]atomic.Uint64, (n+63)/64),
+		cols:        make([]atomic.Pointer[colVersion], s.schema.NumCols()),
+		colCursor:   make([]int64, s.schema.NumCols()),
+	}
+	empty := []*tailBlock{}
+	r.tailBlocks.Store(&empty)
+	// The insert range's table-level tail block: all columns materialized
+	// eagerly (§3.2: "we allocate tail pages for all columns").
+	first, err := s.tailAlloc.ReserveBlock(n)
+	if err != nil {
+		return nil, err
+	}
+	r.insertBlock.Store(newTailBlock(first, n, s.schema.NumCols(), true))
+	return r, nil
+}
+
+// rowCount returns the number of base records allocated so far.
+func (r *updateRange) rowCount() int {
+	if r.sealed.Load() {
+		return r.n
+	}
+	if ib := r.insertBlock.Load(); ib != nil {
+		return ib.rids.Used()
+	}
+	return r.n
+}
+
+// colVer returns column col's current base version (nil while inserting).
+func (r *updateRange) colVer(col int) *colVersion { return r.cols[col].Load() }
+
+// loadIndirection reads the indirection word, masking the latch bit.
+func (r *updateRange) loadIndirection(slot int) types.RID {
+	return types.RID(atomic.LoadUint64(&r.indirection[slot]) & types.IndirectionRIDMask)
+}
+
+// baseStartSlot returns the raw Start Time slot of the base record: the
+// sealed meta page post-seal, the table-level tail page before. Sealing
+// publishes the meta version before discarding the insert block, so a reader
+// that observes both as missing simply raced the seal and retries.
+func (r *updateRange) baseStartSlot(slot int) uint64 {
+	for {
+		if mv := r.meta.Load(); mv != nil {
+			return mv.startTime.Get(slot)
+		}
+		if ib := r.insertBlock.Load(); ib != nil {
+			return ib.startTime.Load(slot)
+		}
+	}
+}
+
+// baseValue returns the base-page value of col (sealed pages post-seal, the
+// table-level tail block before). Same seal-race retry as baseStartSlot.
+func (r *updateRange) baseValue(slot, col int) uint64 {
+	for {
+		if cv := r.colVer(col); cv != nil {
+			return cv.data.Get(slot)
+		}
+		if ib := r.insertBlock.Load(); ib != nil {
+			p := ib.dataPage(col, false)
+			if p == nil {
+				return types.NullSlot
+			}
+			return p.Load(slot)
+		}
+	}
+}
+
+// isMergedDeleted reports whether a merged delete tombstone covers slot.
+func (r *updateRange) isMergedDeleted(slot int) bool {
+	return r.deletedBits[slot/64].Load()&(1<<uint(slot%64)) != 0
+}
+
+func (r *updateRange) setMergedDeleted(slot int) {
+	for {
+		w := &r.deletedBits[slot/64]
+		old := w.Load()
+		if old&(1<<uint(slot%64)) != 0 || w.CompareAndSwap(old, old|1<<uint(slot%64)) {
+			return
+		}
+	}
+}
+
+// markEverUpdated ORs bits into slot's ever-updated bitmap.
+func (r *updateRange) markEverUpdated(slot int, bits uint64) {
+	w := &r.everUpdated[slot]
+	for {
+		old := w.Load()
+		if old&bits == bits || w.CompareAndSwap(old, old|bits) {
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Read views and the chain walk
+
+// readView captures the visibility rules of one read (§5.1.1).
+type readView struct {
+	asOf        bool            // true: snapshot semantics at ts; false: latest
+	ts          types.Timestamp // snapshot time when asOf
+	selfID      types.TxnID     // own uncommitted writes are visible (0 = none)
+	speculative bool            // latest mode: also see pre-committed versions
+}
+
+// latestView builds the committed-read view for t (nil t = pure committed).
+func latestView(t *txn.Txn) readView {
+	v := readView{}
+	if t != nil {
+		v.selfID = t.ID
+	}
+	return v
+}
+
+func asOfView(ts types.Timestamp) readView { return readView{asOf: true, ts: ts} }
+
+// resolveSlot resolves a Start Time slot value, tolerating the
+// lazy-swap/sweep race: a transaction is only swept once every slot holding
+// its ID has been swapped to a plain value, so observing an unknown ID means
+// the slot has since been rewritten — re-load and resolve the fresh value.
+func (s *Store) resolveSlot(raw uint64, reload func() uint64) (uint64, types.Timestamp, txn.Status) {
+	for attempt := 0; ; attempt++ {
+		if raw == types.NullSlot || !types.IsTxnID(raw) {
+			ts, st := s.tm.Resolve(raw)
+			return raw, ts, st
+		}
+		if t, ok := s.tm.Lookup(raw); ok {
+			switch t.State() {
+			case txn.StateCommitted:
+				return raw, t.CommitTime(), txn.StatusCommitted
+			case txn.StatePreCommit:
+				return raw, t.CommitTime(), txn.StatusPreCommitted
+			case txn.StateAborted:
+				return raw, 0, txn.StatusAborted
+			default:
+				return raw, 0, txn.StatusUncommitted
+			}
+		}
+		if reload == nil || attempt > 2 {
+			return raw, 0, txn.StatusAborted
+		}
+		next := reload()
+		if next == raw {
+			// Unswapped slot with an unknown ID: the sweep invariant says
+			// this cannot happen; classify as tombstone.
+			return raw, 0, txn.StatusAborted
+		}
+		raw = next
+	}
+}
+
+// visible decides whether a version whose raw Start Time slot is startSlot
+// is visible under the view, resolving transaction IDs through the manager.
+// It also performs the paper's lazy txn-ID → commit-time swap.
+func (s *Store) visible(view readView, rec *tailRecord) bool {
+	slot := rec.startSlot
+	if view.selfID != 0 && slot == view.selfID {
+		return !view.asOf // own writes visible under latest reads
+	}
+	raw, ts, st := s.resolveSlot(slot, func() uint64 { return rec.block.startTime.Load(rec.slotIdx) })
+	if types.IsTxnID(raw) {
+		rec.startSlot = raw
+		s.lazySwap(rec, ts, st)
+	}
+	switch st {
+	case txn.StatusCommitted:
+		if view.asOf {
+			return ts <= view.ts
+		}
+		return true
+	case txn.StatusPreCommitted:
+		return !view.asOf && view.speculative
+	default:
+		return false
+	}
+}
+
+// lazySwap replaces a resolved transaction ID in a Start Time slot with the
+// commit time (or the ∅ tombstone for aborted writers), then lets the
+// transaction manager forget drained transactions (§5.1.1 commit: "swapping
+// the transaction ID with commit time is done lazily by future readers").
+func (s *Store) lazySwap(rec *tailRecord, ts types.Timestamp, st txn.Status) {
+	var repl uint64
+	switch st {
+	case txn.StatusCommitted:
+		repl = ts
+	case txn.StatusAborted:
+		repl = types.NullSlot
+	default:
+		return
+	}
+	old := rec.startSlot
+	if rec.block.startTime.CompareAndSwap(rec.slotIdx, old, repl) {
+		if t, ok := s.tm.Lookup(old); ok {
+			t.NoteSwapped()
+		}
+	}
+}
+
+// baseVisible reports whether the base record itself (its insert) is visible
+// under the view, resolving unsealed insert-range start slots.
+func (r *updateRange) baseVisible(s *Store, view readView, slot int) bool {
+	raw := r.baseStartSlot(slot)
+	if raw == types.NullSlot {
+		return false // aborted insert or never-written slot
+	}
+	if view.selfID != 0 && raw == view.selfID {
+		return !view.asOf
+	}
+	_, ts, st := s.resolveSlot(raw, func() uint64 { return r.baseStartSlot(slot) })
+	switch st {
+	case txn.StatusCommitted:
+		if view.asOf {
+			return ts <= view.ts
+		}
+		return true
+	case txn.StatusPreCommitted:
+		return !view.asOf && view.speculative
+	default:
+		return false
+	}
+}
+
+// readResult carries a chain walk's outcome.
+type readResult struct {
+	exists bool
+	// decidingRID is the RID of the version that determined existence: the
+	// newest visible tail record, or the base RID when the base record
+	// itself is the visible version. Used by serializable validation.
+	decidingRID types.RID
+	hops        int // tail records visited (2-hop invariant introspection)
+}
+
+// readCols resolves the values of cols for the record at slot under view,
+// writing slot-encoded values into out (len(out) == len(cols)). It returns
+// exists=false when the record is invisible or deleted under the view.
+//
+// The walk starts from the Indirection forward pointer and follows backward
+// pointers (§2.2). Latest-mode reads stop at each column's TPS watermark —
+// the merged base page already reflects everything at or below it (§4.2).
+// Snapshot reads walk the full chain (pre-image records make originals
+// reachable, Lemma 2) and fall through to the history store once they cross
+// the historic-compression boundary (§4.3).
+func (r *updateRange) readCols(view readView, slot int, cols []int, out []uint64) readResult {
+	s := r.store
+	res := readResult{}
+	var need uint64
+	for i, c := range cols {
+		out[i] = types.NullSlot
+		need |= 1 << uint(c)
+	}
+	decided := false
+
+	ind := r.loadIndirection(slot)
+
+	// Pure fast path for latest reads: indirection at or below every needed
+	// column's TPS means base pages are current (at most the 2nd hop below).
+	// Existence-only probes (len(cols)==0) always walk: an unmerged delete
+	// tombstone is only discoverable on the chain.
+	if !view.asOf && ind != 0 && len(cols) > 0 {
+		allMerged := true
+		for _, c := range cols {
+			cv := r.colVer(c)
+			if cv == nil || ind > cv.tps {
+				allMerged = false
+				break
+			}
+		}
+		if allMerged {
+			if r.isMergedDeleted(slot) {
+				return res
+			}
+			for i, c := range cols {
+				out[i] = r.baseValue(slot, c)
+			}
+			res.exists = true
+			res.decidingRID = r.firstRID + types.RID(slot)
+			return res
+		}
+	}
+
+	cur := ind
+	for cur.IsTail() {
+		if uint64(cur) <= r.histUpto.Load() {
+			// Remainder of the chain was re-organized into the history store.
+			return r.readFromHistory(view, slot, cols, out, need, decided, res)
+		}
+		rec, ok := s.loadTailRecord(cur)
+		if !ok {
+			break // unpublished slot: treat as absent version
+		}
+		res.hops++
+		if s.visible(view, &rec) {
+			if !decided {
+				if rec.enc&types.SchemaDeleteFlag != 0 {
+					return res // newest visible version is a delete
+				}
+				decided = true
+				if rec.enc&types.SchemaSnapshotFlag != 0 {
+					// A pre-image record preserves the ORIGINAL version; for
+					// version identity (read validation) it IS the base
+					// record, which decided this read before the pre-image
+					// was appended.
+					res.decidingRID = r.firstRID + types.RID(slot)
+				} else {
+					res.decidingRID = cur
+				}
+			}
+			if need != 0 && rec.enc&types.SchemaDeleteFlag == 0 {
+				for i, c := range cols {
+					if need&(1<<uint(c)) == 0 {
+						continue
+					}
+					if v, ok := rec.value(c); ok {
+						out[i] = v
+						need &^= 1 << uint(c)
+					}
+				}
+			}
+			if need == 0 && decided {
+				res.exists = true
+				return res
+			}
+			// Latest mode: once past a column's TPS the merged page has it.
+			if !view.asOf {
+				done := true
+				for i, c := range cols {
+					if need&(1<<uint(c)) == 0 {
+						continue
+					}
+					cv := r.colVer(c)
+					if cv != nil && cur <= cv.tps {
+						out[i] = cv.data.Get(slot)
+						need &^= 1 << uint(c)
+					} else {
+						done = false
+					}
+				}
+				if done {
+					res.exists = true
+					return res
+				}
+			}
+		}
+		cur = rec.back
+	}
+
+	// Chain exhausted: the base record is the visible version for everything
+	// still needed (columns never updated keep their original values in the
+	// merged pages).
+	if !decided {
+		if !r.baseVisible(s, view, slot) {
+			return res
+		}
+		res.decidingRID = r.firstRID + types.RID(slot)
+	}
+	for i, c := range cols {
+		if need&(1<<uint(c)) != 0 {
+			out[i] = r.baseValue(slot, c)
+		}
+	}
+	res.exists = true
+	return res
+}
+
+// decidingVersion returns only the deciding RID under the view (validation
+// helper; avoids materializing values).
+func (r *updateRange) decidingVersion(view readView, slot int) (types.RID, bool) {
+	res := r.readCols(view, slot, nil, nil)
+	return res.decidingRID, res.exists
+}

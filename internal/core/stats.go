@@ -1,0 +1,60 @@
+package core
+
+import "sync/atomic"
+
+// Stats exposes engine counters for the benchmark harness and
+// cmd/lstore-inspect. All counters are monotone.
+type Stats struct {
+	Inserts           atomic.Uint64
+	Updates           atomic.Uint64
+	Deletes           atomic.Uint64
+	PointReads        atomic.Uint64
+	Scans             atomic.Uint64
+	WWConflicts       atomic.Uint64
+	TailRecords       atomic.Uint64
+	Merges            atomic.Uint64
+	MergedTailRecords atomic.Uint64
+	Seals             atomic.Uint64
+	PagesRetired      atomic.Uint64
+	PagesReclaimed    atomic.Uint64
+	HistoryPasses     atomic.Uint64
+	HistoryRecords    atomic.Uint64
+}
+
+// StatsSnapshot is a point-in-time copy of the counters.
+type StatsSnapshot struct {
+	Inserts           uint64
+	Updates           uint64
+	Deletes           uint64
+	PointReads        uint64
+	Scans             uint64
+	WWConflicts       uint64
+	TailRecords       uint64
+	Merges            uint64
+	MergedTailRecords uint64
+	Seals             uint64
+	PagesRetired      uint64
+	PagesReclaimed    uint64
+	HistoryPasses     uint64
+	HistoryRecords    uint64
+}
+
+// Stats returns a snapshot of the engine counters.
+func (s *Store) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Inserts:           s.stats.Inserts.Load(),
+		Updates:           s.stats.Updates.Load(),
+		Deletes:           s.stats.Deletes.Load(),
+		PointReads:        s.stats.PointReads.Load(),
+		Scans:             s.stats.Scans.Load(),
+		WWConflicts:       s.stats.WWConflicts.Load(),
+		TailRecords:       s.stats.TailRecords.Load(),
+		Merges:            s.stats.Merges.Load(),
+		MergedTailRecords: s.stats.MergedTailRecords.Load(),
+		Seals:             s.stats.Seals.Load(),
+		PagesRetired:      s.stats.PagesRetired.Load(),
+		PagesReclaimed:    s.stats.PagesReclaimed.Load(),
+		HistoryPasses:     s.stats.HistoryPasses.Load(),
+		HistoryRecords:    s.stats.HistoryRecords.Load(),
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lstore/internal/page"
+	"lstore/internal/rid"
+	"lstore/internal/types"
+)
+
+// tailBlock is a contiguous span of tail RIDs with columnar, write-once
+// storage — a set of aligned tail pages (§2.2: "tail pages directly mirror
+// the structure and the schema of base pages"). Meta-columns are always
+// materialized; data columns are allocated lazily on first update of that
+// column within the block ("a column that has never been updated does not
+// even have to be materialized", §3.1). Table-level tail blocks of insert
+// ranges (§3.2) materialize every column eagerly since inserts provide all
+// values.
+type tailBlock struct {
+	rids *rid.Block
+
+	// Meta tail pages (always present).
+	indirection *page.TailPage // back pointer to previous version
+	schemaEnc   *page.TailPage // changed-columns bitmap + flags
+	startTime   *page.TailPage // commit time or transaction ID
+	baseRID     *page.TailPage // owning base record (merge accelerator, §2.2)
+
+	// Data tail pages, one per schema column, allocated lazily.
+	data []atomic.Pointer[page.TailPage]
+
+	allocMu sync.Mutex // serializes lazy data-page allocation only
+}
+
+func newTailBlock(first types.RID, n, numCols int, eager bool) *tailBlock {
+	b := &tailBlock{
+		rids:        rid.NewBlock(first, n),
+		indirection: page.NewTail(n),
+		schemaEnc:   page.NewTail(n),
+		startTime:   page.NewTail(n),
+		baseRID:     page.NewTail(n),
+		data:        make([]atomic.Pointer[page.TailPage], numCols),
+	}
+	if eager {
+		for i := range b.data {
+			b.data[i].Store(page.NewTail(n))
+		}
+	}
+	return b
+}
+
+// dataPage returns column col's tail page, allocating it on first use when
+// create is true. Returns nil when the column was never materialized.
+func (b *tailBlock) dataPage(col int, create bool) *page.TailPage {
+	p := b.data[col].Load()
+	if p != nil || !create {
+		return p
+	}
+	b.allocMu.Lock()
+	defer b.allocMu.Unlock()
+	if p := b.data[col].Load(); p != nil {
+		return p
+	}
+	p = page.NewTail(b.rids.N)
+	b.data[col].Store(p)
+	return p
+}
+
+// take reserves the next tail RID in the block.
+func (b *tailBlock) take() (types.RID, int, bool) { return b.rids.Take() }
+
+// contains reports whether r belongs to this block.
+func (b *tailBlock) contains(r types.RID) bool { return b.rids.Contains(r) }
+
+// slot converts a contained RID to its slot index.
+func (b *tailBlock) slot(r types.RID) int { return b.rids.Slot(r) }
+
+// tailRecord is a decoded view of one tail record (read path).
+type tailRecord struct {
+	rid       types.RID
+	back      types.RID // previous version (tail RID) or base RID at chain end
+	enc       uint64
+	startSlot uint64 // raw Start Time slot (commit time, txn ID, or tombstone)
+	block     *tailBlock
+	slotIdx   int
+}
+
+// value returns this record's explicit value for col; ok is false when the
+// record does not define the column.
+func (r *tailRecord) value(col int) (uint64, bool) {
+	if r.enc&types.SchemaDeleteFlag != 0 {
+		// Delete tombstones implicitly set every data column to ∅.
+		return types.NullSlot, true
+	}
+	if r.enc&(1<<uint(col)) == 0 {
+		return 0, false
+	}
+	p := r.block.dataPage(col, false)
+	if p == nil {
+		return 0, false
+	}
+	return p.Load(r.slotIdx), true
+}
+
+// loadTailRecord reads the record header for rid through the store's tail
+// directory. ok is false for unknown RIDs (never handed out).
+func (s *Store) loadTailRecord(r types.RID) (tailRecord, bool) {
+	b, ok := s.tailDir.Get(uint64(r-types.TailRIDBase) / uint64(s.cfg.TailBlockSize))
+	if !ok || !b.contains(r) {
+		return tailRecord{}, false
+	}
+	i := b.slot(r)
+	back := b.indirection.Load(i)
+	if back == types.NullSlot {
+		// Slot reserved but record not yet fully written: the writer stores
+		// the back pointer last (publish order), so treat as absent.
+		return tailRecord{}, false
+	}
+	return tailRecord{
+		rid:       r,
+		back:      types.RID(back),
+		enc:       b.schemaEnc.Load(i),
+		startSlot: b.startTime.Load(i),
+		block:     b,
+		slotIdx:   i,
+	}, true
+}
+
+// newTailBlockFor reserves RID space for a new block and registers it in the
+// tail directory so loadTailRecord can address it.
+func (s *Store) newTailBlockFor(numCols int, eager bool) (*tailBlock, error) {
+	first, err := s.tailAlloc.ReserveBlock(s.cfg.TailBlockSize)
+	if err != nil {
+		return nil, err
+	}
+	b := newTailBlock(first, s.cfg.TailBlockSize, numCols, eager)
+	s.tailDir.Put(uint64(first-types.TailRIDBase)/uint64(s.cfg.TailBlockSize), b)
+	return b, nil
+}

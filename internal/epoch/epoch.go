@@ -1,0 +1,145 @@
+// Package epoch implements the contention-free page de-allocation scheme of
+// §4.1 (step 5) and Figure 6: after a merge swaps the page directory to the
+// new consolidated pages, the outdated base pages "must be kept around as
+// long as there is an active query that started before the merge process".
+//
+// Queries pin the current epoch on entry and unpin on exit. Retiring an
+// object stamps it with the current epoch; the object is reclaimed only once
+// every reader whose pinned epoch is ≤ the retirement epoch has drained.
+// Readers are never blocked and never block the merge — reclamation is the
+// only deferred action.
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+const shardCount = 16
+
+type shard struct {
+	mu     sync.Mutex
+	active map[uint64]uint64 // reader id -> pinned epoch
+}
+
+// Manager tracks reader epochs and retired objects.
+type Manager struct {
+	global  atomic.Uint64
+	nextID  atomic.Uint64
+	shards  [shardCount]shard
+	mu      sync.Mutex
+	retired []retiredItem
+	// reclaimed counts executed retirement callbacks (introspection).
+	reclaimed atomic.Uint64
+}
+
+type retiredItem struct {
+	epoch uint64
+	free  func()
+}
+
+// NewManager returns a ready Manager. Epoch 0 is the initial epoch.
+func NewManager() *Manager {
+	m := &Manager{}
+	for i := range m.shards {
+		m.shards[i].active = make(map[uint64]uint64)
+	}
+	return m
+}
+
+// Guard represents one pinned reader. The zero Guard is invalid.
+type Guard struct {
+	m  *Manager
+	id uint64
+}
+
+// Pin registers the caller as an active reader at the current epoch.
+// Every scan and point read takes a guard for its duration.
+func (m *Manager) Pin() Guard {
+	id := m.nextID.Add(1)
+	e := m.global.Load()
+	s := &m.shards[id%shardCount]
+	s.mu.Lock()
+	s.active[id] = e
+	s.mu.Unlock()
+	return Guard{m: m, id: id}
+}
+
+// Unpin deregisters the reader. Unpin is idempotent.
+func (g Guard) Unpin() {
+	if g.m == nil {
+		return
+	}
+	s := &g.m.shards[g.id%shardCount]
+	s.mu.Lock()
+	delete(s.active, g.id)
+	s.mu.Unlock()
+}
+
+// Retire schedules free to run once all readers that might still reach the
+// object have drained. free must be idempotent-friendly (it runs exactly
+// once, on an arbitrary goroutine).
+func (m *Manager) Retire(free func()) {
+	e := m.global.Load()
+	m.mu.Lock()
+	m.retired = append(m.retired, retiredItem{epoch: e, free: free})
+	m.mu.Unlock()
+}
+
+// minActive returns the smallest pinned epoch, or (max, false) when no
+// readers are active.
+func (m *Manager) minActive() (uint64, bool) {
+	min := ^uint64(0)
+	found := false
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for _, e := range s.active {
+			found = true
+			if e < min {
+				min = e
+			}
+		}
+		s.mu.Unlock()
+	}
+	return min, found
+}
+
+// TryReclaim advances the global epoch and frees every retired object whose
+// retirement epoch precedes all active readers. It returns the number of
+// objects freed. The merge thread calls this after each merge; it is also
+// safe to call from anywhere concurrently.
+func (m *Manager) TryReclaim() int {
+	m.global.Add(1)
+	min, anyActive := m.minActive()
+	m.mu.Lock()
+	var keep []retiredItem
+	var run []func()
+	for _, it := range m.retired {
+		if !anyActive || it.epoch < min {
+			run = append(run, it.free)
+		} else {
+			keep = append(keep, it)
+		}
+	}
+	m.retired = keep
+	m.mu.Unlock()
+	for _, f := range run {
+		f()
+	}
+	m.reclaimed.Add(uint64(len(run)))
+	return len(run)
+}
+
+// Pending returns the number of retired-but-not-yet-freed objects.
+func (m *Manager) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.retired)
+}
+
+// Reclaimed returns the total number of freed objects.
+func (m *Manager) Reclaimed() uint64 { return m.reclaimed.Load() }
+
+// Epoch returns the current global epoch (introspection).
+func (m *Manager) Epoch() uint64 { return m.global.Load() }

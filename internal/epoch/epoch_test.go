@@ -1,0 +1,150 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRetireWithoutReadersReclaimsImmediately(t *testing.T) {
+	m := NewManager()
+	freed := false
+	m.Retire(func() { freed = true })
+	if n := m.TryReclaim(); n != 1 {
+		t.Fatalf("reclaimed %d, want 1", n)
+	}
+	if !freed {
+		t.Fatal("free callback did not run")
+	}
+	if m.Pending() != 0 {
+		t.Fatalf("pending = %d", m.Pending())
+	}
+}
+
+func TestPinnedReaderBlocksReclaim(t *testing.T) {
+	m := NewManager()
+	g := m.Pin()
+	freed := false
+	m.Retire(func() { freed = true })
+	if n := m.TryReclaim(); n != 0 {
+		t.Fatalf("reclaimed %d while reader pinned, want 0", n)
+	}
+	if freed {
+		t.Fatal("freed while reader pinned")
+	}
+	g.Unpin()
+	if n := m.TryReclaim(); n != 1 {
+		t.Fatalf("reclaimed %d after unpin, want 1", n)
+	}
+	if !freed {
+		t.Fatal("not freed after unpin")
+	}
+}
+
+func TestLateReaderDoesNotBlockEarlierRetirement(t *testing.T) {
+	m := NewManager()
+	freed := false
+	m.Retire(func() { freed = true })
+	m.TryReclaim() // no readers: freed, epoch advanced
+	if !freed {
+		t.Fatal("expected immediate reclaim")
+	}
+
+	// A retirement at epoch e must wait for a reader pinned at e, but a
+	// reader pinned AFTER the epoch advanced past the retirement must not
+	// hold it back.
+	freed2 := false
+	m.Retire(func() { freed2 = true }) // retired at current epoch E
+	m.TryReclaim()                     // E+1; freed2 runs (no readers)
+	if !freed2 {
+		t.Fatal("expected reclaim before late reader")
+	}
+	g := m.Pin() // pinned at E+1
+	freed3 := false
+	m.Retire(func() { freed3 = true }) // retired at E+1
+	if m.TryReclaim() != 0 || freed3 {
+		t.Fatal("reader pinned at retirement epoch must block reclaim")
+	}
+	g.Unpin()
+	if m.TryReclaim() != 1 || !freed3 {
+		t.Fatal("reclaim after drain failed")
+	}
+}
+
+func TestUnpinIdempotentAndZeroGuard(t *testing.T) {
+	m := NewManager()
+	g := m.Pin()
+	g.Unpin()
+	g.Unpin() // must not panic
+	var zero Guard
+	zero.Unpin() // must not panic
+	_ = m
+}
+
+func TestConcurrentPinRetireReclaim(t *testing.T) {
+	m := NewManager()
+	var freedCount atomic.Int64
+	var retiredCount atomic.Int64
+	stop := make(chan struct{})
+	var readers, retirers sync.WaitGroup
+
+	// Readers continuously pin/unpin until the retirers finish.
+	for i := 0; i < 4; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				g := m.Pin()
+				g.Unpin()
+			}
+		}()
+	}
+	// Retirers.
+	for i := 0; i < 2; i++ {
+		retirers.Add(1)
+		go func() {
+			defer retirers.Done()
+			for j := 0; j < 500; j++ {
+				retiredCount.Add(1)
+				m.Retire(func() { freedCount.Add(1) })
+				if j%50 == 0 {
+					m.TryReclaim()
+				}
+			}
+		}()
+	}
+	retirers.Wait()
+	close(stop)
+	readers.Wait()
+	// Drain.
+	for i := 0; i < 10 && m.Pending() > 0; i++ {
+		m.TryReclaim()
+	}
+	if freedCount.Load() != retiredCount.Load() {
+		t.Fatalf("freed %d of %d retired", freedCount.Load(), retiredCount.Load())
+	}
+	if m.Reclaimed() != uint64(retiredCount.Load()) {
+		t.Fatalf("Reclaimed() = %d, want %d", m.Reclaimed(), retiredCount.Load())
+	}
+}
+
+func TestEveryRetirementRunsExactlyOnce(t *testing.T) {
+	m := NewManager()
+	counts := make([]int, 100)
+	for i := 0; i < 100; i++ {
+		i := i
+		m.Retire(func() { counts[i]++ })
+	}
+	m.TryReclaim()
+	m.TryReclaim()
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("retirement %d ran %d times", i, c)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package page
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"lstore/internal/types"
+)
+
+func vectors() map[string][]uint64 {
+	rng := rand.New(rand.NewSource(7))
+	random := make([]uint64, 1000)
+	for i := range random {
+		random[i] = rng.Uint64()
+	}
+	narrow := make([]uint64, 1000)
+	for i := range narrow {
+		narrow[i] = 5_000_000 + uint64(rng.Intn(100))
+	}
+	constant := make([]uint64, 1000)
+	for i := range constant {
+		constant[i] = 42
+	}
+	lowCard := make([]uint64, 1000)
+	for i := range lowCard {
+		lowCard[i] = []uint64{10, 1 << 60, 77, types.NullSlot}[rng.Intn(4)]
+	}
+	withNulls := make([]uint64, 1000)
+	for i := range withNulls {
+		if rng.Intn(3) == 0 {
+			withNulls[i] = types.NullSlot
+		} else {
+			withNulls[i] = uint64(rng.Intn(1000))
+		}
+	}
+	return map[string][]uint64{
+		"random":   random,
+		"narrow":   narrow,
+		"constant": constant,
+		"lowCard":  lowCard,
+		"nulls":    withNulls,
+		"empty":    {},
+		"single":   {types.NullSlot},
+	}
+}
+
+func TestEncodeRoundTripAllShapes(t *testing.T) {
+	for name, vals := range vectors() {
+		p := Encode(vals)
+		if p.Len() != len(vals) {
+			t.Fatalf("%s: Len = %d, want %d", name, p.Len(), len(vals))
+		}
+		got := Decode(p)
+		if len(vals) > 0 && !reflect.DeepEqual(got, vals) {
+			t.Fatalf("%s (%v): roundtrip mismatch", name, p.Kind())
+		}
+	}
+}
+
+func TestEncodePicksCompressed(t *testing.T) {
+	v := vectors()
+	if k := Encode(v["constant"]).Kind(); k != KindRLE {
+		t.Errorf("constant vector encoded as %v, want rle", k)
+	}
+	if k := Encode(v["narrow"]).Kind(); k == KindRaw {
+		t.Errorf("narrow vector not compressed")
+	}
+	if got := Encode(v["narrow"]).MemWords(); got >= 1000 {
+		t.Errorf("narrow vector occupies %d words, no compression achieved", got)
+	}
+}
+
+func TestPackedHandlesNulls(t *testing.T) {
+	vals := []uint64{types.NullSlot, 100, 101, types.NullSlot, 105}
+	p := NewPacked(vals)
+	if p == nil {
+		t.Fatal("packed refused small range with nulls")
+	}
+	if !reflect.DeepEqual(Decode(p), vals) {
+		t.Fatalf("packed with nulls roundtrip mismatch: %v", Decode(p))
+	}
+}
+
+func TestPackedRefusesFullWidth(t *testing.T) {
+	if p := NewPacked([]uint64{0, 1 << 63}); p != nil {
+		t.Errorf("packed accepted 64-bit range")
+	}
+}
+
+func TestRLEPointAccess(t *testing.T) {
+	vals := []uint64{7, 7, 7, 9, 9, 3, 3, 3, 3, 5}
+	p := NewRLE(vals)
+	if p == nil {
+		t.Fatal("RLE refused runs")
+	}
+	for i, want := range vals {
+		if got := p.Get(i); got != want {
+			t.Errorf("Get(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestEncodeProperty(t *testing.T) {
+	f := func(vals []uint64, mode uint8) bool {
+		shaped := make([]uint64, len(vals))
+		for i, v := range vals {
+			switch mode % 3 {
+			case 0:
+				shaped[i] = v
+			case 1:
+				shaped[i] = v % 7
+			case 2:
+				if v%5 == 0 {
+					shaped[i] = types.NullSlot
+				} else {
+					shaped[i] = 1000 + v%64
+				}
+			}
+		}
+		p := Encode(shaped)
+		if p.Len() != len(shaped) {
+			return false
+		}
+		for i := range shaped {
+			if p.Get(i) != shaped[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalUnmarshal(t *testing.T) {
+	for name, vals := range vectors() {
+		if len(vals) == 0 {
+			continue
+		}
+		b := Marshal(Encode(vals))
+		p, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(Decode(p), vals) {
+			t.Fatalf("%s: marshal roundtrip mismatch", name)
+		}
+	}
+	if _, err := Unmarshal([]byte{1, 2}); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := Unmarshal(Marshal(NewRaw([]uint64{1, 2, 3}))[:16]); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestTailPageWriteOnceVisibility(t *testing.T) {
+	p := NewTail(DefaultSlots)
+	if p.Len() != DefaultSlots {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if p.Load(i) != types.NullSlot {
+			t.Fatalf("fresh slot %d not null", i)
+		}
+	}
+	p.Store(3, 99)
+	if p.Load(3) != 99 {
+		t.Fatalf("Load after Store = %d", p.Load(3))
+	}
+}
+
+func TestTailPageConcurrentDistinctSlots(t *testing.T) {
+	p := NewTail(1024)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < 1024; i += 8 {
+				p.Store(i, uint64(i)*3)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := 0; i < 1024; i++ {
+		if p.Load(i) != uint64(i)*3 {
+			t.Fatalf("slot %d = %d", i, p.Load(i))
+		}
+	}
+}
+
+func TestTailPageCAS(t *testing.T) {
+	p := NewTail(4)
+	p.Store(0, types.TxnIDFlag|5)
+	if !p.CompareAndSwap(0, types.TxnIDFlag|5, 1234) {
+		t.Fatal("CAS failed")
+	}
+	if p.CompareAndSwap(0, types.TxnIDFlag|5, 9999) {
+		t.Fatal("stale CAS succeeded")
+	}
+	if p.Load(0) != 1234 {
+		t.Fatalf("slot = %d", p.Load(0))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{KindRaw: "raw", KindPacked: "packed", KindDict: "dict", KindRLE: "rle"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}

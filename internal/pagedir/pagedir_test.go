@@ -1,0 +1,124 @@
+package pagedir
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	d := New[string]()
+	if _, ok := d.Get(1); ok {
+		t.Fatal("empty directory hit")
+	}
+	d.Put(1, "a")
+	if v, ok := d.Get(1); !ok || v != "a" {
+		t.Fatalf("Get = (%q,%v)", v, ok)
+	}
+	old, ok := d.Swap(1, "b")
+	if !ok || old != "a" {
+		t.Fatalf("Swap = (%q,%v)", old, ok)
+	}
+	if v, _ := d.Get(1); v != "b" {
+		t.Fatalf("after swap: %q", v)
+	}
+	if _, ok := d.Swap(99, "x"); ok {
+		t.Fatal("swap on absent key reported present")
+	}
+	if v, _ := d.Get(99); v != "x" {
+		t.Fatal("swap on absent key did not install")
+	}
+	d.Delete(1)
+	if _, ok := d.Get(1); ok {
+		t.Fatal("deleted key still present")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestRange(t *testing.T) {
+	d := New[int]()
+	for i := uint64(0); i < 50; i++ {
+		d.Put(i, int(i)*2)
+	}
+	sum := 0
+	d.Range(func(k uint64, v int) bool {
+		if v != int(k)*2 {
+			t.Errorf("entry %d = %d", k, v)
+		}
+		sum += v
+		return true
+	})
+	if sum != 49*50 {
+		t.Fatalf("sum = %d", sum)
+	}
+	n := 0
+	d.Range(func(uint64, int) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestConcurrentSwapAndGet(t *testing.T) {
+	d := New[*int]()
+	v0 := 0
+	d.Put(7, &v0)
+	var readers, writers sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers always observe a valid pointer (old or new), never nil.
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p, ok := d.Get(7)
+				if !ok || p == nil {
+					t.Error("reader observed missing/nil value during swaps")
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 1; i <= 500; i++ {
+				v := i
+				d.Swap(7, &v)
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+}
+
+func TestManyKeysAcrossShards(t *testing.T) {
+	d := New[uint64]()
+	const n = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := uint64(w); i < n; i += 4 {
+				d.Put(i, i+1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if d.Len() != n {
+		t.Fatalf("Len = %d, want %d", d.Len(), n)
+	}
+	for i := uint64(0); i < n; i += 97 {
+		if v, ok := d.Get(i); !ok || v != i+1 {
+			t.Fatalf("key %d = (%d,%v)", i, v, ok)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package rid implements the record-identifier allocators of L-Store.
+//
+// Base RIDs and tail RIDs come from the same key space (§2.1: "records in
+// both base and tail pages are assigned record-identifiers from the same key
+// space") but from disjoint sub-ranges: base RIDs ascend from 1 and tail
+// RIDs ascend from types.TailRIDBase. Tail RIDs are handed out in
+// per-update-range blocks so updates for a range of records stay clustered
+// inside that range's tail pages (§3.1), while the single global counter
+// keeps RIDs monotone in allocation order — the property the TPS
+// high-watermark logic depends on (§4.2).
+//
+// Insert ranges (§3.2) reserve an aligned pair of spans: a span of base RIDs
+// and an equally sized span of table-level tail RIDs, so the i-th base RID of
+// the range corresponds to the i-th table-level tail RID (implicit
+// addressing).
+package rid
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"lstore/internal/types"
+)
+
+// BaseAllocator hands out base RIDs in contiguous spans (insert ranges).
+type BaseAllocator struct {
+	next atomic.Uint64
+}
+
+// NewBaseAllocator returns an allocator whose first RID is 1.
+func NewBaseAllocator() *BaseAllocator {
+	a := &BaseAllocator{}
+	a.next.Store(1)
+	return a
+}
+
+// ReserveSpan reserves n consecutive base RIDs and returns the first.
+func (a *BaseAllocator) ReserveSpan(n int) (types.RID, error) {
+	if n <= 0 {
+		return types.InvalidRID, fmt.Errorf("rid: span size %d must be positive", n)
+	}
+	first := a.next.Add(uint64(n)) - uint64(n)
+	if first+uint64(n) >= uint64(types.TailRIDBase) {
+		return types.InvalidRID, fmt.Errorf("rid: base RID space exhausted")
+	}
+	return types.RID(first), nil
+}
+
+// Peek returns the next RID that would be allocated (for introspection).
+func (a *BaseAllocator) Peek() types.RID { return types.RID(a.next.Load()) }
+
+// TailAllocator hands out tail RIDs in blocks from a single global counter.
+type TailAllocator struct {
+	next atomic.Uint64
+}
+
+// NewTailAllocator returns an allocator whose first RID is types.TailRIDBase.
+func NewTailAllocator() *TailAllocator {
+	a := &TailAllocator{}
+	a.next.Store(uint64(types.TailRIDBase))
+	return a
+}
+
+// ReserveBlock reserves n consecutive tail RIDs and returns the first.
+// Successive calls return strictly increasing spans, so any interleaving of
+// per-range block reservations preserves global RID monotonicity.
+func (a *TailAllocator) ReserveBlock(n int) (types.RID, error) {
+	if n <= 0 {
+		return types.InvalidRID, fmt.Errorf("rid: block size %d must be positive", n)
+	}
+	first := a.next.Add(uint64(n)) - uint64(n)
+	if first+uint64(n) < first { // wrap
+		return types.InvalidRID, fmt.Errorf("rid: tail RID space exhausted")
+	}
+	return types.RID(first), nil
+}
+
+// Peek returns the next tail RID that would be allocated.
+func (a *TailAllocator) Peek() types.RID { return types.RID(a.next.Load()) }
+
+// Block is a contiguous span of RIDs with O(1) slot addressing.
+type Block struct {
+	First types.RID
+	N     int
+	used  atomic.Int64
+}
+
+// NewBlock wraps a reserved span.
+func NewBlock(first types.RID, n int) *Block { return &Block{First: first, N: n} }
+
+// Take hands out the next RID in the block. ok is false once the block is
+// exhausted; the caller then reserves a fresh block. Take never blocks and
+// is safe for concurrent use.
+func (b *Block) Take() (r types.RID, slot int, ok bool) {
+	i := b.used.Add(1) - 1
+	if i >= int64(b.N) {
+		return types.InvalidRID, 0, false
+	}
+	return b.First + types.RID(i), int(i), true
+}
+
+// Used returns how many RIDs have been taken (may transiently exceed N under
+// races; callers treat >=N as full).
+func (b *Block) Used() int {
+	u := b.used.Load()
+	if u > int64(b.N) {
+		u = int64(b.N)
+	}
+	return int(u)
+}
+
+// Contains reports whether r falls inside the block.
+func (b *Block) Contains(r types.RID) bool {
+	return r >= b.First && r < b.First+types.RID(b.N)
+}
+
+// Slot returns the slot index of r inside the block. The caller must ensure
+// Contains(r).
+func (b *Block) Slot(r types.RID) int { return int(r - b.First) }

@@ -1,0 +1,153 @@
+package rid
+
+import (
+	"sync"
+	"testing"
+
+	"lstore/internal/types"
+)
+
+func TestBaseAllocatorSpans(t *testing.T) {
+	a := NewBaseAllocator()
+	s1, err := a.ReserveSpan(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := a.ReserveSpan(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != 1 {
+		t.Errorf("first span starts at %v, want 1", s1)
+	}
+	if s2 != s1+100 {
+		t.Errorf("second span starts at %v, want %v", s2, s1+100)
+	}
+	if !s1.IsBase() || !s2.IsBase() {
+		t.Errorf("base spans must be base RIDs")
+	}
+	if _, err := a.ReserveSpan(0); err == nil {
+		t.Errorf("zero span accepted")
+	}
+	if _, err := a.ReserveSpan(-3); err == nil {
+		t.Errorf("negative span accepted")
+	}
+}
+
+func TestTailAllocatorMonotone(t *testing.T) {
+	a := NewTailAllocator()
+	prev := types.InvalidRID
+	for i := 0; i < 1000; i++ {
+		b, err := a.ReserveBlock(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !b.IsTail() {
+			t.Fatalf("block %d start %v not a tail RID", i, b)
+		}
+		if b <= prev {
+			t.Fatalf("blocks not monotone: %v after %v", b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestTailAllocatorConcurrentDisjoint(t *testing.T) {
+	a := NewTailAllocator()
+	const workers, perWorker, blockSize = 8, 200, 16
+	var mu sync.Mutex
+	seen := make(map[types.RID]struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]types.RID, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				b, err := a.ReserveBlock(blockSize)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				local = append(local, b)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, b := range local {
+				for k := 0; k < blockSize; k++ {
+					r := b + types.RID(k)
+					if _, dup := seen[r]; dup {
+						t.Errorf("duplicate RID %v", r)
+					}
+					seen[r] = struct{}{}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != workers*perWorker*blockSize {
+		t.Fatalf("allocated %d unique RIDs, want %d", len(seen), workers*perWorker*blockSize)
+	}
+}
+
+func TestBlockTake(t *testing.T) {
+	b := NewBlock(types.TailRIDBase+100, 4)
+	for i := 0; i < 4; i++ {
+		r, slot, ok := b.Take()
+		if !ok {
+			t.Fatalf("Take %d failed", i)
+		}
+		if slot != i {
+			t.Errorf("slot = %d, want %d", slot, i)
+		}
+		if r != b.First+types.RID(i) {
+			t.Errorf("rid = %v", r)
+		}
+		if !b.Contains(r) || b.Slot(r) != i {
+			t.Errorf("Contains/Slot wrong for %v", r)
+		}
+	}
+	if _, _, ok := b.Take(); ok {
+		t.Errorf("Take succeeded past capacity")
+	}
+	if b.Used() != 4 {
+		t.Errorf("Used = %d, want 4", b.Used())
+	}
+	if b.Contains(b.First + 4) {
+		t.Errorf("Contains accepts out-of-range RID")
+	}
+}
+
+func TestBlockConcurrentTakeUnique(t *testing.T) {
+	b := NewBlock(types.TailRIDBase, 1024)
+	var wg sync.WaitGroup
+	got := make([][]types.RID, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				r, _, ok := b.Take()
+				if !ok {
+					return
+				}
+				got[w] = append(got[w], r)
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[types.RID]struct{})
+	total := 0
+	for _, rs := range got {
+		for _, r := range rs {
+			if _, dup := seen[r]; dup {
+				t.Fatalf("duplicate %v", r)
+			}
+			seen[r] = struct{}{}
+			total++
+		}
+	}
+	if total != 1024 {
+		t.Fatalf("total takes = %d, want 1024", total)
+	}
+}

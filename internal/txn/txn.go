@@ -1,0 +1,325 @@
+// Package txn implements the transaction layer of §5.1: the optimistic
+// concurrency model of Sadoghi et al. [33] with the speculative reads of
+// Larson et al. [18]. L-Store's storage is agnostic to the concurrency
+// protocol; this package provides what the storage layer consumes:
+//
+//   - a synchronized logical clock ("time is advanced before it is
+//     returned") issuing begin and commit timestamps,
+//   - a transaction-manager hashtable tracking each transaction's state
+//     (active → pre-commit → committed | aborted) and times,
+//   - resolution of Start Time slots that transiently hold transaction IDs,
+//     plus the lazy swap bookkeeping that lets finished transactions be
+//     forgotten,
+//   - read-set validation hooks for repeatable-read/serializable commits.
+//
+// Write-write conflict detection itself lives with the Indirection word in
+// the storage layer (a CAS on the embedded latch bit); this package supplies
+// the state checks that protocol consults.
+package txn
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lstore/internal/types"
+)
+
+// Level is the isolation level of a transaction.
+type Level uint8
+
+const (
+	// ReadCommitted reads the latest committed version of each record and
+	// performs no commit-time validation (§5.1.1: "read committed ... does
+	// not require validation"). The paper's short update transactions run
+	// under this level.
+	ReadCommitted Level = iota
+	// Snapshot reads the database as of the transaction's begin time; only
+	// speculative reads require validation. The paper's analytical scans run
+	// under this level.
+	Snapshot
+	// Serializable validates the entire read set at commit time (read
+	// repeatability via re-check of committed visible versions).
+	Serializable
+)
+
+func (l Level) String() string {
+	switch l {
+	case ReadCommitted:
+		return "read-committed"
+	case Snapshot:
+		return "snapshot"
+	case Serializable:
+		return "serializable"
+	default:
+		return fmt.Sprintf("level(%d)", uint8(l))
+	}
+}
+
+// State is a transaction's lifecycle state (§5.1.1).
+type State int32
+
+const (
+	StateActive State = iota
+	StatePreCommit
+	StateCommitted
+	StateAborted
+)
+
+func (s State) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StatePreCommit:
+		return "pre-commit"
+	case StateCommitted:
+		return "committed"
+	case StateAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// Status classifies a version's visibility source after resolving its Start
+// Time slot.
+type Status uint8
+
+const (
+	// StatusCommitted: the version belongs to a committed transaction.
+	StatusCommitted Status = iota
+	// StatusPreCommitted: the owning transaction is validating; visible only
+	// to speculative reads.
+	StatusPreCommitted
+	// StatusUncommitted: the owning transaction is still active.
+	StatusUncommitted
+	// StatusAborted: tombstone; every reader skips it.
+	StatusAborted
+)
+
+// ErrConflict is returned when OCC detects a write-write conflict or a
+// validation failure; the caller aborts and may retry the transaction.
+var ErrConflict = fmt.Errorf("txn: conflict")
+
+// Txn is one transaction's bookkeeping.
+type Txn struct {
+	ID    types.TxnID
+	Begin types.Timestamp
+	Level Level
+
+	state      atomic.Int32
+	commit     atomic.Uint64
+	mgr        *Manager
+	mu         sync.Mutex
+	validators []func(commitTime types.Timestamp) bool
+	// pendingSlots counts Start Time slots still holding this txn's ID; the
+	// lazy swap decrements it, and Sweep reclaims entries at zero.
+	pendingSlots atomic.Int64
+}
+
+// State returns the current lifecycle state.
+func (t *Txn) State() State { return State(t.state.Load()) }
+
+// CommitTime returns the commit timestamp (0 before Prepare).
+func (t *Txn) CommitTime() types.Timestamp { return t.commit.Load() }
+
+// AddValidator registers a read-set re-check executed at commit when the
+// isolation level requires validation. The callback receives the commit
+// timestamp and reports whether the observed read is still the committed
+// visible version as of that time.
+func (t *Txn) AddValidator(f func(commitTime types.Timestamp) bool) {
+	if t.Level == ReadCommitted {
+		return // never validated; skip the allocation
+	}
+	t.mu.Lock()
+	t.validators = append(t.validators, f)
+	t.mu.Unlock()
+}
+
+// NoteWrite records that one Start Time slot now holds this txn's ID.
+func (t *Txn) NoteWrite() { t.pendingSlots.Add(1) }
+
+// NoteSwapped records that a reader lazily replaced one of this txn's Start
+// Time slots with its commit time (or tombstone marker).
+func (t *Txn) NoteSwapped() { t.pendingSlots.Add(-1) }
+
+// Manager is the transaction manager: the synchronized clock plus the state
+// hashtable of §5.1.1.
+type Manager struct {
+	clock  atomic.Uint64
+	stripe [64]mgrStripe
+}
+
+type mgrStripe struct {
+	mu sync.RWMutex
+	m  map[types.TxnID]*Txn
+}
+
+// NewManager returns a Manager whose clock starts at 1 (timestamp 0 is the
+// "before everything" sentinel used for base-record install times in tests).
+func NewManager() *Manager {
+	m := &Manager{}
+	for i := range m.stripe {
+		m.stripe[i].m = make(map[types.TxnID]*Txn)
+	}
+	return m
+}
+
+// Tick advances the clock and returns the new time.
+func (m *Manager) Tick() types.Timestamp { return m.clock.Add(1) }
+
+// Now returns the current time without advancing the clock.
+func (m *Manager) Now() types.Timestamp { return m.clock.Load() }
+
+func (m *Manager) stripeFor(id types.TxnID) *mgrStripe {
+	return &m.stripe[(id>>1)%64]
+}
+
+// Begin starts a transaction at the given isolation level. The begin time
+// seeds the transaction ID (§5.1.1 footnote 14).
+func (m *Manager) Begin(level Level) *Txn {
+	begin := m.Tick()
+	t := &Txn{
+		ID:    types.TxnIDFlag | begin,
+		Begin: begin,
+		Level: level,
+		mgr:   m,
+	}
+	s := m.stripeFor(t.ID)
+	s.mu.Lock()
+	s.m[t.ID] = t
+	s.mu.Unlock()
+	return t
+}
+
+// Lookup returns the transaction for id, if still tracked.
+func (m *Manager) Lookup(id types.TxnID) (*Txn, bool) {
+	s := m.stripeFor(id)
+	s.mu.RLock()
+	t, ok := s.m[id]
+	s.mu.RUnlock()
+	return t, ok
+}
+
+// Prepare moves t from active to pre-commit and assigns the commit time;
+// both changes are reflected atomically with respect to Resolve (state is
+// read after commit time is published).
+func (m *Manager) Prepare(t *Txn) (types.Timestamp, error) {
+	ct := m.Tick()
+	t.commit.Store(ct)
+	if !t.state.CompareAndSwap(int32(StateActive), int32(StatePreCommit)) {
+		return 0, fmt.Errorf("txn: prepare in state %v", t.State())
+	}
+	return ct, nil
+}
+
+// Validate re-checks the read set against the commit time. It must be called
+// between Prepare and Commit.
+func (t *Txn) Validate() error {
+	ct := t.CommitTime()
+	t.mu.Lock()
+	vs := t.validators
+	t.mu.Unlock()
+	for _, f := range vs {
+		if !f(ct) {
+			return ErrConflict
+		}
+	}
+	return nil
+}
+
+// Commit finalizes t: prepare (if not yet), validate, then flip to
+// committed. On validation failure the transaction is aborted and
+// ErrConflict returned.
+func (m *Manager) Commit(t *Txn) error {
+	if t.State() == StateActive {
+		if _, err := m.Prepare(t); err != nil {
+			return err
+		}
+	}
+	if err := t.Validate(); err != nil {
+		m.Abort(t)
+		return err
+	}
+	if !t.state.CompareAndSwap(int32(StatePreCommit), int32(StateCommitted)) {
+		return fmt.Errorf("txn: commit in state %v", t.State())
+	}
+	return nil
+}
+
+// Abort marks t aborted. Its tail records become tombstones resolved through
+// Resolve; nothing is physically removed (append-only, §5.1.3).
+func (m *Manager) Abort(t *Txn) {
+	for {
+		s := t.State()
+		if s == StateCommitted {
+			return // too late; committed wins
+		}
+		if s == StateAborted {
+			return
+		}
+		if t.state.CompareAndSwap(int32(s), int32(StateAborted)) {
+			return
+		}
+	}
+}
+
+// Resolve interprets a Start Time slot value (§5.1.1 "the Start Time column
+// may also hold transaction ID"). It returns the version's commit time when
+// one exists. Unknown transaction IDs denote swept transactions; sweeping
+// only removes transactions with no remaining slots, so an unknown ID can
+// occur only if the caller raced a sweep after observing the slot — treat it
+// as aborted-tombstone, the conservative answer.
+func (m *Manager) Resolve(slot uint64) (types.Timestamp, Status) {
+	if slot == types.NullSlot {
+		return 0, StatusAborted
+	}
+	if !types.IsTxnID(slot) {
+		return slot, StatusCommitted
+	}
+	t, ok := m.Lookup(slot)
+	if !ok {
+		return 0, StatusAborted
+	}
+	switch t.State() {
+	case StateCommitted:
+		return t.CommitTime(), StatusCommitted
+	case StatePreCommit:
+		return t.CommitTime(), StatusPreCommitted
+	case StateAborted:
+		return 0, StatusAborted
+	default:
+		return 0, StatusUncommitted
+	}
+}
+
+// Sweep removes finished transactions whose Start Time slots have all been
+// lazily swapped; it returns how many were forgotten.
+func (m *Manager) Sweep() int {
+	n := 0
+	for i := range m.stripe {
+		s := &m.stripe[i]
+		s.mu.Lock()
+		for id, t := range s.m {
+			st := t.State()
+			if (st == StateCommitted || st == StateAborted) && t.pendingSlots.Load() == 0 {
+				delete(s.m, id)
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Tracked returns the number of transactions currently tracked.
+func (m *Manager) Tracked() int {
+	n := 0
+	for i := range m.stripe {
+		s := &m.stripe[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}

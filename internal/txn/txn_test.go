@@ -1,0 +1,224 @@
+package txn
+
+import (
+	"sync"
+	"testing"
+
+	"lstore/internal/types"
+)
+
+func TestBeginAssignsMonotoneTimes(t *testing.T) {
+	m := NewManager()
+	t1 := m.Begin(ReadCommitted)
+	t2 := m.Begin(ReadCommitted)
+	if t1.Begin >= t2.Begin {
+		t.Fatalf("begin times not monotone: %d, %d", t1.Begin, t2.Begin)
+	}
+	if t1.ID == t2.ID {
+		t.Fatal("duplicate txn ids")
+	}
+	if !types.IsTxnID(t1.ID) {
+		t.Fatal("txn id missing flag bit")
+	}
+	if t1.State() != StateActive {
+		t.Fatalf("fresh txn state = %v", t1.State())
+	}
+}
+
+func TestCommitLifecycle(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin(ReadCommitted)
+	if err := m.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	if tx.State() != StateCommitted {
+		t.Fatalf("state = %v", tx.State())
+	}
+	if tx.CommitTime() <= tx.Begin {
+		t.Fatalf("commit time %d not after begin %d", tx.CommitTime(), tx.Begin)
+	}
+	// Double commit is an error.
+	if err := m.Commit(tx); err == nil {
+		t.Fatal("double commit accepted")
+	}
+}
+
+func TestAbort(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin(ReadCommitted)
+	m.Abort(tx)
+	if tx.State() != StateAborted {
+		t.Fatalf("state = %v", tx.State())
+	}
+	m.Abort(tx) // idempotent
+	if err := m.Commit(tx); err == nil {
+		t.Fatal("commit after abort accepted")
+	}
+	// Abort after commit is a no-op.
+	tx2 := m.Begin(ReadCommitted)
+	if err := m.Commit(tx2); err != nil {
+		t.Fatal(err)
+	}
+	m.Abort(tx2)
+	if tx2.State() != StateCommitted {
+		t.Fatal("abort overrode commit")
+	}
+}
+
+func TestValidationFailureAborts(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin(Serializable)
+	tx.AddValidator(func(types.Timestamp) bool { return true })
+	tx.AddValidator(func(types.Timestamp) bool { return false })
+	if err := m.Commit(tx); err != ErrConflict {
+		t.Fatalf("err = %v, want ErrConflict", err)
+	}
+	if tx.State() != StateAborted {
+		t.Fatalf("state = %v", tx.State())
+	}
+}
+
+func TestValidatorsSkippedForReadCommitted(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin(ReadCommitted)
+	called := false
+	tx.AddValidator(func(types.Timestamp) bool { called = true; return false })
+	if err := m.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("validator ran under read-committed")
+	}
+}
+
+func TestValidatorReceivesCommitTime(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin(Serializable)
+	var got types.Timestamp
+	tx.AddValidator(func(ct types.Timestamp) bool { got = ct; return true })
+	if err := m.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	if got != tx.CommitTime() {
+		t.Fatalf("validator saw %d, commit time %d", got, tx.CommitTime())
+	}
+}
+
+func TestResolve(t *testing.T) {
+	m := NewManager()
+
+	// Plain timestamp.
+	if ts, st := m.Resolve(42); ts != 42 || st != StatusCommitted {
+		t.Fatalf("plain slot: (%d,%v)", ts, st)
+	}
+	// Null slot is a tombstone.
+	if _, st := m.Resolve(types.NullSlot); st != StatusAborted {
+		t.Fatalf("null slot status %v", st)
+	}
+	// Active txn.
+	tx := m.Begin(ReadCommitted)
+	if _, st := m.Resolve(tx.ID); st != StatusUncommitted {
+		t.Fatalf("active status %v", st)
+	}
+	// Pre-commit.
+	if _, err := m.Prepare(tx); err != nil {
+		t.Fatal(err)
+	}
+	if ts, st := m.Resolve(tx.ID); st != StatusPreCommitted || ts != tx.CommitTime() {
+		t.Fatalf("pre-commit: (%d,%v)", ts, st)
+	}
+	// Committed.
+	if err := m.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	if ts, st := m.Resolve(tx.ID); st != StatusCommitted || ts != tx.CommitTime() {
+		t.Fatalf("committed: (%d,%v)", ts, st)
+	}
+	// Aborted.
+	tx2 := m.Begin(ReadCommitted)
+	m.Abort(tx2)
+	if _, st := m.Resolve(tx2.ID); st != StatusAborted {
+		t.Fatalf("aborted status %v", st)
+	}
+	// Unknown txn id (swept) resolves as tombstone.
+	if _, st := m.Resolve(types.TxnIDFlag | 999999); st != StatusAborted {
+		t.Fatalf("unknown id status %v", st)
+	}
+}
+
+func TestSweepOnlyDrainedTxns(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin(ReadCommitted)
+	tx.NoteWrite()
+	tx.NoteWrite()
+	if err := m.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.Sweep(); n != 0 {
+		t.Fatalf("swept %d with pending slots", n)
+	}
+	tx.NoteSwapped()
+	tx.NoteSwapped()
+	if n := m.Sweep(); n != 1 {
+		t.Fatalf("swept %d, want 1", n)
+	}
+	if _, ok := m.Lookup(tx.ID); ok {
+		t.Fatal("swept txn still tracked")
+	}
+	if m.Tracked() != 0 {
+		t.Fatalf("Tracked = %d", m.Tracked())
+	}
+}
+
+func TestSweepKeepsActive(t *testing.T) {
+	m := NewManager()
+	_ = m.Begin(ReadCommitted)
+	if n := m.Sweep(); n != 0 {
+		t.Fatalf("swept active txn")
+	}
+}
+
+func TestConcurrentBeginCommitUniqueCommitTimes(t *testing.T) {
+	m := NewManager()
+	const workers, per = 8, 200
+	var mu sync.Mutex
+	seen := make(map[types.Timestamp]struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]types.Timestamp, 0, per)
+			for i := 0; i < per; i++ {
+				tx := m.Begin(ReadCommitted)
+				if err := m.Commit(tx); err != nil {
+					t.Error(err)
+					return
+				}
+				local = append(local, tx.CommitTime())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, ct := range local {
+				if _, dup := seen[ct]; dup {
+					t.Errorf("duplicate commit time %d", ct)
+				}
+				seen[ct] = struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != workers*per {
+		t.Fatalf("got %d unique commit times, want %d", len(seen), workers*per)
+	}
+}
+
+func TestLevelAndStateStrings(t *testing.T) {
+	if ReadCommitted.String() != "read-committed" || Snapshot.String() != "snapshot" || Serializable.String() != "serializable" {
+		t.Error("level strings wrong")
+	}
+	if StateActive.String() != "active" || StatePreCommit.String() != "pre-commit" ||
+		StateCommitted.String() != "committed" || StateAborted.String() != "aborted" {
+		t.Error("state strings wrong")
+	}
+}

@@ -1,0 +1,159 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRIDClassification(t *testing.T) {
+	if InvalidRID.IsBase() || InvalidRID.IsTail() {
+		t.Fatalf("InvalidRID must be neither base nor tail")
+	}
+	if !RID(1).IsBase() {
+		t.Fatalf("RID 1 should be base")
+	}
+	if RID(TailRIDBase - 1).IsTail() {
+		t.Fatalf("TailRIDBase-1 should not be tail")
+	}
+	if !TailRIDBase.IsTail() {
+		t.Fatalf("TailRIDBase should be tail")
+	}
+	if TailRIDBase.IsBase() {
+		t.Fatalf("TailRIDBase should not be base")
+	}
+}
+
+func TestRIDString(t *testing.T) {
+	if got := RID(7).String(); got != "b7" {
+		t.Errorf("RID(7) = %q, want b7", got)
+	}
+	if got := (TailRIDBase + 3).String(); got != "t3" {
+		t.Errorf("tail rid = %q, want t3", got)
+	}
+	if got := InvalidRID.String(); got != "rid(⊥)" {
+		t.Errorf("invalid rid = %q", got)
+	}
+}
+
+func TestInt64EncodingRoundTrip(t *testing.T) {
+	cases := []int64{0, 1, -1, 42, -42, math.MinInt64, math.MaxInt64 - 1}
+	for _, v := range cases {
+		slot := EncodeInt64(v)
+		if slot == NullSlot {
+			t.Errorf("EncodeInt64(%d) produced NullSlot", v)
+		}
+		if got := DecodeInt64(slot); got != v {
+			t.Errorf("roundtrip(%d) = %d", v, got)
+		}
+	}
+}
+
+func TestInt64EncodingOrderPreserving(t *testing.T) {
+	f := func(a, b int64) bool {
+		if a == math.MaxInt64 || b == math.MaxInt64 {
+			return true // excluded at API boundary
+		}
+		ea, eb := EncodeInt64(a), EncodeInt64(b)
+		return (a < b) == (ea < eb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64EncodingNeverNull(t *testing.T) {
+	f := func(v int64) bool { return EncodeInt64(v) != NullSlot }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxnIDFlag(t *testing.T) {
+	if IsTxnID(12345) {
+		t.Errorf("plain timestamp misread as txn id")
+	}
+	if !IsTxnID(TxnIDFlag | 7) {
+		t.Errorf("txn id not recognized")
+	}
+	if IsTxnID(NullSlot) {
+		t.Errorf("NullSlot must not be a txn id")
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	good := Schema{Cols: []ColumnDef{{"k", Int64}, {"a", Int64}, {"s", String}}, Key: 0}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good schema rejected: %v", err)
+	}
+	bad := []Schema{
+		{},
+		{Cols: []ColumnDef{{"k", Int64}}, Key: 5},
+		{Cols: []ColumnDef{{"k", String}}, Key: 0},
+		{Cols: []ColumnDef{{"k", Int64}, {"k", Int64}}, Key: 0},
+		{Cols: []ColumnDef{{"", Int64}}, Key: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad schema %d accepted", i)
+		}
+	}
+	// Too many columns.
+	many := Schema{Key: 0}
+	for i := 0; i < MaxDataColumns+1; i++ {
+		many.Cols = append(many.Cols, ColumnDef{Name: string(rune('a'+i%26)) + string(rune('0'+i/26)), Type: Int64})
+	}
+	if err := many.Validate(); err == nil {
+		t.Errorf("over-wide schema accepted")
+	}
+}
+
+func TestSchemaColIndex(t *testing.T) {
+	s := Schema{Cols: []ColumnDef{{"k", Int64}, {"amount", Int64}}, Key: 0}
+	if s.ColIndex("amount") != 1 {
+		t.Errorf("ColIndex(amount) = %d", s.ColIndex("amount"))
+	}
+	if s.ColIndex("nope") != -1 {
+		t.Errorf("ColIndex(nope) should be -1")
+	}
+	if s.NumCols() != 2 {
+		t.Errorf("NumCols = %d", s.NumCols())
+	}
+}
+
+func TestValues(t *testing.T) {
+	n := NullValue()
+	if !n.IsNull() || n.Int() != 0 || n.Str() != "" {
+		t.Errorf("null value misbehaves: %v", n)
+	}
+	iv := IntValue(-9)
+	if iv.IsNull() || iv.Int() != -9 || iv.Kind() != Int64 {
+		t.Errorf("int value misbehaves: %v", iv)
+	}
+	sv := StringValue("hi")
+	if sv.Str() != "hi" || sv.Kind() != String {
+		t.Errorf("string value misbehaves: %v", sv)
+	}
+	if !iv.Equal(IntValue(-9)) || iv.Equal(IntValue(8)) || iv.Equal(sv) || iv.Equal(n) {
+		t.Errorf("Equal misbehaves")
+	}
+	if !n.Equal(NullValue()) {
+		t.Errorf("null != null")
+	}
+	if n.String() != "∅" || iv.String() != "-9" || sv.String() != `"hi"` {
+		t.Errorf("String() outputs: %q %q %q", n.String(), iv.String(), sv.String())
+	}
+}
+
+func TestSchemaFlagBitsDisjoint(t *testing.T) {
+	if SchemaSnapshotFlag&SchemaDeleteFlag != 0 {
+		t.Fatal("flag bits overlap")
+	}
+	colMask := uint64(1)<<MaxDataColumns - 1
+	if colMask&(SchemaSnapshotFlag|SchemaDeleteFlag) != 0 {
+		t.Fatal("column bits overlap flag bits")
+	}
+	if IndirectionLatchBit&IndirectionRIDMask != 0 {
+		t.Fatal("latch bit overlaps RID mask")
+	}
+}

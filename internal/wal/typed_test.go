@@ -1,0 +1,120 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypedValsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, nil)
+	rec := Record{
+		Kind: KindInsert, TxnID: 3, Table: 9,
+		TVals: []TypedVal{
+			{Kind: TVInt, I: -42},
+			{Kind: TVNull},
+			{Kind: TVString, S: "hello, wörld"},
+			{Kind: TVInt, I: 1 << 40},
+		},
+	}
+	if _, err := l.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	l.Flush()
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("read: %v, %d records", err, len(got))
+	}
+	r := got[0]
+	if r.Table != 9 || len(r.TVals) != 4 {
+		t.Fatalf("record = %+v", r)
+	}
+	if r.TVals[0].I != -42 || r.TVals[1].Kind != TVNull ||
+		r.TVals[2].S != "hello, wörld" || r.TVals[3].I != 1<<40 {
+		t.Fatalf("tvals = %+v", r.TVals)
+	}
+}
+
+func TestTypedValsProperty(t *testing.T) {
+	f := func(ints []int64, strs []string) bool {
+		var tvals []TypedVal
+		for _, v := range ints {
+			tvals = append(tvals, TypedVal{Kind: TVInt, I: v})
+		}
+		for _, s := range strs {
+			tvals = append(tvals, TypedVal{Kind: TVString, S: s})
+		}
+		tvals = append(tvals, TypedVal{Kind: TVNull})
+		payload := appendTypedVals(nil, tvals)
+		got, off, err := parseTypedVals(payload, 0)
+		if err != nil || off != len(payload) || len(got) != len(tvals) {
+			return false
+		}
+		for i := range tvals {
+			if got[i] != tvals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRedoInCommitOrder(t *testing.T) {
+	// Txn 1 writes key 5 and commits; txn 2 then overwrites key 5 and
+	// commits later. Even if txn 2's operation record appears in the log
+	// before txn 1's commit (interleaved appends), commit order rules.
+	records := []Record{
+		{LSN: 1, Kind: KindBegin, TxnID: 1},
+		{LSN: 2, Kind: KindBegin, TxnID: 2},
+		{LSN: 3, Kind: KindUpdate, TxnID: 1, Key: 5, Vals: []uint64{100}},
+		{LSN: 4, Kind: KindCommit, TxnID: 1},
+		{LSN: 5, Kind: KindUpdate, TxnID: 2, Key: 5, Vals: []uint64{200}},
+		{LSN: 6, Kind: KindCommit, TxnID: 2},
+		// Txn 3 never commits.
+		{LSN: 7, Kind: KindUpdate, TxnID: 3, Key: 5, Vals: []uint64{300}},
+		// Txn 4 aborts explicitly.
+		{LSN: 8, Kind: KindUpdate, TxnID: 4, Key: 6, Vals: []uint64{400}},
+		{LSN: 9, Kind: KindAbort, TxnID: 4},
+	}
+	state := map[uint64]uint64{}
+	if err := RedoInCommitOrder(records, func(r Record) error {
+		state[r.Key] = r.Vals[0]
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if state[5] != 200 {
+		t.Fatalf("key 5 = %d, want 200 (commit order)", state[5])
+	}
+	if _, ok := state[6]; ok {
+		t.Fatal("aborted txn's op replayed")
+	}
+	if len(state) != 1 {
+		t.Fatalf("state = %v", state)
+	}
+}
+
+func TestRedoInCommitOrderInterleavedOps(t *testing.T) {
+	// Ops of a later-committing txn interleave before an earlier commit:
+	// per-transaction grouping must keep txn A's op effect before txn B's.
+	records := []Record{
+		{LSN: 1, Kind: KindUpdate, TxnID: 2, Key: 1, Vals: []uint64{20}},
+		{LSN: 2, Kind: KindUpdate, TxnID: 1, Key: 1, Vals: []uint64{10}},
+		{LSN: 3, Kind: KindCommit, TxnID: 1},
+		{LSN: 4, Kind: KindCommit, TxnID: 2},
+	}
+	var order []uint64
+	if err := RedoInCommitOrder(records, func(r Record) error {
+		order = append(order, r.Vals[0])
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 10 || order[1] != 20 {
+		t.Fatalf("replay order = %v, want [10 20]", order)
+	}
+}

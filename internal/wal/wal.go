@@ -1,0 +1,318 @@
+// Package wal implements L-Store's logging and recovery support (§5.1.3):
+//
+//   - a redo-only, append-only log. Base pages are read-only and tail pages
+//     append-only and write-once, so no undo logging exists anywhere: an
+//     aborted transaction's tail records simply become tombstones. The log
+//     carries logical operations (insert/update/delete) plus transaction
+//     begin/commit/abort markers.
+//
+//   - group commit: records accumulate in a buffer; Flush makes everything
+//     up to the returned LSN durable. Committing transactions flush at the
+//     commit record, amortizing syncs across concurrent committers.
+//
+//   - recovery: a two-pass reader (analysis: find committed transactions;
+//     redo: replay their operations in log order). Operations of
+//     transactions without a commit record are discarded — exactly the
+//     "mark as tombstone, space reclaimed later" rule of the paper.
+//
+// The Ownership-Relaying (OR) pageLSN protocol of §5.2 lives in or.go.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+)
+
+// Kind tags a log record.
+type Kind uint8
+
+const (
+	KindBegin Kind = iota + 1
+	KindInsert
+	KindUpdate
+	KindDelete
+	KindCommit
+	KindAbort
+	// KindMerge is operational logging only: the merge is idempotent
+	// (§5.1.3), so recovery ignores it; it exists for observability and to
+	// bound replay work in a full implementation.
+	KindMerge
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindBegin:
+		return "begin"
+	case KindInsert:
+		return "insert"
+	case KindUpdate:
+		return "update"
+	case KindDelete:
+		return "delete"
+	case KindCommit:
+		return "commit"
+	case KindAbort:
+		return "abort"
+	case KindMerge:
+		return "merge"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Record is one logical redo record. Low-level callers use slot-encoded
+// Vals; the public API layer uses self-describing TVals so string
+// dictionaries rebuild deterministically on replay.
+type Record struct {
+	LSN   uint64
+	Kind  Kind
+	TxnID uint64
+	Table uint64     // table identifier (public layer)
+	Key   uint64     // update/delete: primary key slot
+	Cols  []uint32   // update: column indexes; insert: all columns implied
+	Vals  []uint64   // insert: one per schema column; update: one per Cols
+	TVals []TypedVal // typed payload (public layer)
+}
+
+// Logger is the append-only redo log with group commit.
+type Logger struct {
+	mu       sync.Mutex
+	w        *bufio.Writer
+	sink     io.Writer
+	nextLSN  uint64
+	flushed  uint64 // highest LSN guaranteed durable
+	synced   func() // optional fsync hook
+	syncs    int
+	appended int
+}
+
+// NewLogger wraps sink (a file or buffer). syncFn, if non-nil, is invoked on
+// every flush (an fsync stand-in that tests count).
+func NewLogger(sink io.Writer, syncFn func()) *Logger {
+	return &Logger{w: bufio.NewWriterSize(sink, 1<<16), sink: sink, nextLSN: 1, synced: syncFn}
+}
+
+// Append buffers rec and returns its LSN. It never blocks on I/O beyond the
+// in-memory buffer (durability comes from Flush).
+func (l *Logger) Append(rec Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec.LSN = l.nextLSN
+	l.nextLSN++
+	if err := writeRecord(l.w, &rec); err != nil {
+		return 0, err
+	}
+	l.appended++
+	return rec.LSN, nil
+}
+
+// AppendCommit appends a commit record and flushes — the group-commit
+// point: every record buffered before it (from any transaction) becomes
+// durable together.
+func (l *Logger) AppendCommit(txnID uint64) (uint64, error) {
+	lsn, err := l.Append(Record{Kind: KindCommit, TxnID: txnID})
+	if err != nil {
+		return 0, err
+	}
+	return lsn, l.Flush()
+}
+
+// Flush makes all appended records durable.
+func (l *Logger) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if l.synced != nil {
+		l.synced()
+	}
+	l.syncs++
+	l.flushed = l.nextLSN - 1
+	return nil
+}
+
+// FlushedLSN returns the highest durable LSN.
+func (l *Logger) FlushedLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushed
+}
+
+// Syncs returns how many flushes have run (group-commit effectiveness).
+func (l *Logger) Syncs() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncs
+}
+
+// Appended returns the number of records appended.
+func (l *Logger) Appended() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// ---------------------------------------------------------------------------
+// Binary format: len u32 | crc u32 | payload. Payload: lsn, kind, txnid,
+// key, cols, vals (varints). A torn tail (partial final record) terminates
+// replay cleanly.
+
+func writeRecord(w io.Writer, rec *Record) error {
+	var payload []byte
+	payload = binary.AppendUvarint(payload, rec.LSN)
+	payload = append(payload, byte(rec.Kind))
+	payload = binary.AppendUvarint(payload, rec.TxnID)
+	payload = binary.AppendUvarint(payload, rec.Table)
+	payload = binary.AppendUvarint(payload, rec.Key)
+	payload = binary.AppendUvarint(payload, uint64(len(rec.Cols)))
+	for _, c := range rec.Cols {
+		payload = binary.AppendUvarint(payload, uint64(c))
+	}
+	payload = binary.AppendUvarint(payload, uint64(len(rec.Vals)))
+	for _, v := range rec.Vals {
+		payload = binary.AppendUvarint(payload, v)
+	}
+	payload = appendTypedVals(payload, rec.TVals)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadAll parses records from r until EOF or a torn/corrupt tail, which ends
+// the stream without error (standard recovery semantics). A corrupt record
+// in the middle still just ends the stream — everything after an
+// unverifiable record is untrustworthy.
+func ReadAll(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	var out []Record
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return out, nil
+			}
+			return out, err
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:])
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		if n > 1<<24 {
+			return out, nil // implausible length: torn tail
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return out, nil // torn tail
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return out, nil // corrupt tail
+		}
+		rec, err := parsePayload(payload)
+		if err != nil {
+			return out, nil
+		}
+		out = append(out, rec)
+	}
+}
+
+func parsePayload(p []byte) (Record, error) {
+	var rec Record
+	var off int
+	read := func() (uint64, error) {
+		v, n := binary.Uvarint(p[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("wal: truncated varint")
+		}
+		off += n
+		return v, nil
+	}
+	lsn, err := read()
+	if err != nil {
+		return rec, err
+	}
+	rec.LSN = lsn
+	if off >= len(p) {
+		return rec, fmt.Errorf("wal: missing kind")
+	}
+	rec.Kind = Kind(p[off])
+	off++
+	if rec.TxnID, err = read(); err != nil {
+		return rec, err
+	}
+	if rec.Table, err = read(); err != nil {
+		return rec, err
+	}
+	if rec.Key, err = read(); err != nil {
+		return rec, err
+	}
+	nc, err := read()
+	if err != nil {
+		return rec, err
+	}
+	for i := uint64(0); i < nc; i++ {
+		c, err := read()
+		if err != nil {
+			return rec, err
+		}
+		rec.Cols = append(rec.Cols, uint32(c))
+	}
+	nv, err := read()
+	if err != nil {
+		return rec, err
+	}
+	for i := uint64(0); i < nv; i++ {
+		v, err := read()
+		if err != nil {
+			return rec, err
+		}
+		rec.Vals = append(rec.Vals, v)
+	}
+	tvals, noff, err := parseTypedVals(p, off)
+	if err != nil {
+		return rec, err
+	}
+	off = noff
+	rec.TVals = tvals
+	return rec, nil
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+
+// Analyze returns the set of transaction IDs with a durable commit record.
+func Analyze(records []Record) map[uint64]bool {
+	committed := make(map[uint64]bool)
+	for i := range records {
+		if records[i].Kind == KindCommit {
+			committed[records[i].TxnID] = true
+		}
+	}
+	return committed
+}
+
+// Redo streams the operations of committed transactions, in log order, to
+// apply. Records of uncommitted or aborted transactions are skipped
+// (append-only storage means they need no undo — they were never visible).
+func Redo(records []Record, apply func(Record) error) error {
+	committed := Analyze(records)
+	for i := range records {
+		rec := &records[i]
+		switch rec.Kind {
+		case KindInsert, KindUpdate, KindDelete:
+			if committed[rec.TxnID] {
+				if err := apply(*rec); err != nil {
+					return fmt.Errorf("wal: redo LSN %d: %w", rec.LSN, err)
+				}
+			}
+		}
+	}
+	return nil
+}

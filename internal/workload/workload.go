@@ -1,0 +1,209 @@
+// Package workload implements the micro benchmark of §6.1, originally
+// defined in Larson et al. [18] and Sadoghi et al. [33]:
+//
+//   - a 10-column table; the degree of reader/writer contention is set by
+//     the size of the database active set: low (10 M records), medium
+//     (100 K) and high (10 K) — scaled proportionally for smaller machines;
+//   - short update transactions of 8 reads + 2 writes (read committed),
+//     with configurable read/write ratio for the Figure 9 sweeps;
+//   - writers update 40% of all columns on average;
+//   - read-only analytical transactions scanning 10% of the base table
+//     under snapshot isolation (SUM over one continuously updated column).
+package workload
+
+import (
+	"math/rand"
+)
+
+// Contention selects the active-set size class of §6.1.
+type Contention int
+
+const (
+	Low Contention = iota
+	Medium
+	High
+)
+
+func (c Contention) String() string {
+	switch c {
+	case Low:
+		return "low"
+	case Medium:
+		return "medium"
+	case High:
+		return "high"
+	default:
+		return "contention(?)"
+	}
+}
+
+// Config describes one benchmark workload.
+type Config struct {
+	// TableSize is the number of preloaded records (the database is larger
+	// than the active set, §6.1).
+	TableSize int
+	// ActiveSet is the number of distinct keys update transactions touch.
+	ActiveSet int
+	// NumCols is the total column count including the key (paper: 10).
+	NumCols int
+	// ReadsPerTxn and WritesPerTxn shape the short update transaction
+	// (paper default: 8 reads, 2 writes).
+	ReadsPerTxn  int
+	WritesPerTxn int
+	// ColsPerWrite is how many data columns each write statement updates
+	// (paper: 40% of all columns on average).
+	ColsPerWrite int
+	// ScanFraction is the portion of the table a long-running read-only
+	// transaction touches (paper: 10%).
+	ScanFraction float64
+}
+
+// Scale shrinks the paper's active sets for a target machine while
+// preserving the contention ratios as far as memory allows. scale=1.0
+// reproduces the paper's sizes (10M/100K/10K).
+func ForContention(c Contention, tableSize int) Config {
+	cfg := Config{
+		TableSize:    tableSize,
+		NumCols:      10,
+		ReadsPerTxn:  8,
+		WritesPerTxn: 2,
+		ScanFraction: 0.10,
+	}
+	cfg.ColsPerWrite = (cfg.NumCols*40 + 99) / 100 // 40% of all columns
+	switch c {
+	case Low:
+		cfg.ActiveSet = tableSize // spread across the whole table
+	case Medium:
+		cfg.ActiveSet = tableSize / 8
+	case High:
+		cfg.ActiveSet = tableSize / 64
+	}
+	if cfg.ActiveSet < 1 {
+		cfg.ActiveSet = 1
+	}
+	return cfg
+}
+
+// Op is one statement of a short transaction.
+type Op struct {
+	Write bool
+	Key   int64
+	Cols  []int   // data-column indexes (never the key column 0)
+	Vals  []int64 // write payloads, aligned with Cols
+}
+
+// Generator produces transactions deterministically per seed; one generator
+// per worker thread.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+	// scratch reused across calls; callers consume a txn before requesting
+	// the next.
+	ops  []Op
+	cols []int
+}
+
+// NewGenerator creates a generator for the given worker seed.
+func NewGenerator(cfg Config, seed int64) *Generator {
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// NextTxn emits the paper's default short update transaction: ReadsPerTxn
+// reads and WritesPerTxn writes over the active set. The returned slice is
+// valid until the next call.
+func (g *Generator) NextTxn() []Op {
+	return g.MixedTxn(g.cfg.ReadsPerTxn, g.cfg.WritesPerTxn)
+}
+
+// MixedTxn emits a transaction with exactly nr reads and nw writes (the
+// Figure 9 read/write-ratio sweeps vary these over a 10-statement budget).
+func (g *Generator) MixedTxn(nr, nw int) []Op {
+	total := nr + nw
+	if cap(g.ops) < total {
+		g.ops = make([]Op, total)
+	}
+	ops := g.ops[:total]
+	for i := range ops {
+		ops[i].Write = i >= nr // reads first, then writes (paper's RMW shape)
+		ops[i].Key = int64(g.rng.Intn(g.cfg.ActiveSet))
+		if ops[i].Write {
+			ops[i].Cols, ops[i].Vals = g.writeSet(ops[i].Cols, ops[i].Vals)
+		} else {
+			ops[i].Cols = g.readSet(ops[i].Cols, 1)
+			ops[i].Vals = ops[i].Vals[:0]
+		}
+	}
+	return ops
+}
+
+// PointReadTxn emits a transaction of n point reads each fetching pct% of
+// all columns (Table 9).
+func (g *Generator) PointReadTxn(n, pctCols int) []Op {
+	ncols := (g.cfg.NumCols*pctCols + 99) / 100
+	if ncols < 1 {
+		ncols = 1
+	}
+	if ncols > g.cfg.NumCols-1 {
+		ncols = g.cfg.NumCols - 1
+	}
+	if cap(g.ops) < n {
+		g.ops = make([]Op, n)
+	}
+	ops := g.ops[:n]
+	for i := range ops {
+		ops[i].Write = false
+		ops[i].Key = int64(g.rng.Intn(g.cfg.ActiveSet))
+		ops[i].Cols = g.readSet(ops[i].Cols, ncols)
+		ops[i].Vals = ops[i].Vals[:0]
+	}
+	return ops
+}
+
+// writeSet draws ColsPerWrite distinct data columns and values.
+func (g *Generator) writeSet(cols []int, vals []int64) ([]int, []int64) {
+	n := g.cfg.ColsPerWrite
+	if n > g.cfg.NumCols-1 {
+		n = g.cfg.NumCols - 1
+	}
+	cols = g.distinctCols(cols[:0], n)
+	if cap(vals) < n {
+		vals = make([]int64, n)
+	}
+	vals = vals[:n]
+	for i := range vals {
+		vals[i] = g.rng.Int63n(1 << 20)
+	}
+	return cols, vals
+}
+
+// readSet draws n distinct data columns to read.
+func (g *Generator) readSet(cols []int, n int) []int {
+	return g.distinctCols(cols[:0], n)
+}
+
+// distinctCols samples n distinct data-column indexes in [1, NumCols).
+func (g *Generator) distinctCols(cols []int, n int) []int {
+	if cap(g.cols) < g.cfg.NumCols-1 {
+		g.cols = make([]int, g.cfg.NumCols-1)
+	}
+	pool := g.cols[:g.cfg.NumCols-1]
+	for i := range pool {
+		pool[i] = i + 1
+	}
+	for i := 0; i < n; i++ {
+		j := i + g.rng.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+		cols = append(cols, pool[i])
+	}
+	return cols
+}
+
+// ScanSpan returns the row-count of one analytical scan (ScanFraction of
+// the table).
+func (c Config) ScanSpan() int {
+	n := int(float64(c.TableSize) * c.ScanFraction)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestForContentionRatios(t *testing.T) {
+	low := ForContention(Low, 65536)
+	med := ForContention(Medium, 65536)
+	high := ForContention(High, 65536)
+	if low.ActiveSet != 65536 || med.ActiveSet != 8192 || high.ActiveSet != 1024 {
+		t.Fatalf("active sets = %d/%d/%d", low.ActiveSet, med.ActiveSet, high.ActiveSet)
+	}
+	if low.NumCols != 10 || low.ReadsPerTxn != 8 || low.WritesPerTxn != 2 {
+		t.Fatalf("defaults wrong: %+v", low)
+	}
+	if low.ColsPerWrite != 4 {
+		t.Fatalf("ColsPerWrite = %d, want 4 (40%% of 10)", low.ColsPerWrite)
+	}
+	if low.ScanSpan() != 6553 {
+		t.Fatalf("ScanSpan = %d", low.ScanSpan())
+	}
+	tiny := ForContention(High, 10)
+	if tiny.ActiveSet < 1 {
+		t.Fatal("active set must be >= 1")
+	}
+	if Low.String() != "low" || Medium.String() != "medium" || High.String() != "high" {
+		t.Error("contention strings")
+	}
+}
+
+func TestNextTxnShape(t *testing.T) {
+	cfg := ForContention(Medium, 4096)
+	g := NewGenerator(cfg, 1)
+	for round := 0; round < 50; round++ {
+		ops := g.NextTxn()
+		if len(ops) != 10 {
+			t.Fatalf("txn has %d ops", len(ops))
+		}
+		reads, writes := 0, 0
+		for _, op := range ops {
+			if op.Key < 0 || op.Key >= int64(cfg.ActiveSet) {
+				t.Fatalf("key %d outside active set", op.Key)
+			}
+			if op.Write {
+				writes++
+				if len(op.Cols) != cfg.ColsPerWrite || len(op.Vals) != len(op.Cols) {
+					t.Fatalf("write touches %d cols", len(op.Cols))
+				}
+				seen := map[int]bool{}
+				for _, c := range op.Cols {
+					if c == 0 || c >= cfg.NumCols {
+						t.Fatalf("write col %d out of range", c)
+					}
+					if seen[c] {
+						t.Fatalf("duplicate col %d", c)
+					}
+					seen[c] = true
+				}
+			} else {
+				reads++
+				if len(op.Cols) != 1 {
+					t.Fatalf("read touches %d cols", len(op.Cols))
+				}
+			}
+		}
+		if reads != 8 || writes != 2 {
+			t.Fatalf("txn = %dR/%dW", reads, writes)
+		}
+	}
+}
+
+func TestMixedTxnRatios(t *testing.T) {
+	g := NewGenerator(ForContention(Low, 1024), 2)
+	for _, nw := range []int{0, 3, 10} {
+		ops := g.MixedTxn(10-nw, nw)
+		writes := 0
+		for _, op := range ops {
+			if op.Write {
+				writes++
+			}
+		}
+		if writes != nw {
+			t.Fatalf("want %d writes, got %d", nw, writes)
+		}
+	}
+}
+
+func TestPointReadTxnColumnCounts(t *testing.T) {
+	g := NewGenerator(ForContention(Low, 1024), 3)
+	for _, pct := range []int{10, 20, 40, 80, 100} {
+		ops := g.PointReadTxn(10, pct)
+		if len(ops) != 10 {
+			t.Fatalf("ops = %d", len(ops))
+		}
+		want := (10*pct + 99) / 100
+		if want > 9 {
+			want = 9
+		}
+		for _, op := range ops {
+			if len(op.Cols) != want {
+				t.Fatalf("pct %d: read %d cols, want %d", pct, len(op.Cols), want)
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(ForContention(Medium, 8192), 42)
+	b := NewGenerator(ForContention(Medium, 8192), 42)
+	for i := 0; i < 20; i++ {
+		oa, ob := a.NextTxn(), b.NextTxn()
+		for j := range oa {
+			if oa[j].Key != ob[j].Key || oa[j].Write != ob[j].Write {
+				t.Fatalf("divergence at txn %d op %d", i, j)
+			}
+		}
+	}
+}
+
+func TestDistinctColsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		g := NewGenerator(ForContention(Low, 128), seed)
+		n := int(nRaw)%9 + 1
+		cols := g.distinctCols(nil, n)
+		if len(cols) != n {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, c := range cols {
+			if c < 1 || c > 9 || seen[c] {
+				return false
+			}
+			seen[c] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+// Package lstore is a real-time OLTP and OLAP storage engine: a Go
+// implementation of L-Store (Sadoghi et al., "L-Store: A Real-time OLTP and
+// OLAP System", EDBT 2018).
+//
+// L-Store keeps a single copy of the data in a single, natively columnar
+// representation and still serves both transactional point operations and
+// analytical scans: recent updates are strictly appended to write-optimized
+// tail pages, a background contention-free merge lazily consolidates
+// committed updates into read-optimized compressed base pages (tracking
+// in-page lineage so readers never block), and historic versions remain
+// queryable — first through version chains, later through delta-compressed
+// history stores.
+//
+// Minimal usage:
+//
+//	db := lstore.Open()
+//	defer db.Close()
+//	tbl, _ := db.CreateTable("accounts", lstore.NewSchema("id",
+//		lstore.Column{Name: "id", Type: lstore.Int64},
+//		lstore.Column{Name: "balance", Type: lstore.Int64},
+//	))
+//	tx := db.Begin(lstore.ReadCommitted)
+//	tbl.Insert(tx, lstore.Row{"id": lstore.Int(1), "balance": lstore.Int(100)})
+//	tx.Commit()
+//
+//	// Analytics run against consistent snapshots, never blocking writers:
+//	sum, _ := tbl.Sum(db.Now(), "balance")
+//
+// Time travel:
+//
+//	then := db.Now()
+//	// ... more transactions ...
+//	old, ok, _ := tbl.GetAt(then, 1, "balance")
+package lstore
+
+import (
+	"lstore/internal/core"
+	"lstore/internal/txn"
+	"lstore/internal/types"
+)
+
+// ColType enumerates column types.
+type ColType = types.ColType
+
+// Supported column types.
+const (
+	Int64  = types.Int64
+	String = types.String
+)
+
+// Value is a typed cell value.
+type Value = types.Value
+
+// Int wraps an int64 value.
+func Int(v int64) Value { return types.IntValue(v) }
+
+// Str wraps a string value.
+func Str(s string) Value { return types.StringValue(s) }
+
+// Null is the typed null.
+func Null() Value { return types.NullValue() }
+
+// Column declares one table column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema describes a table; build one with NewSchema.
+type Schema struct {
+	inner types.Schema
+}
+
+// NewSchema builds a schema with the named primary-key column (which must be
+// an Int64 column among cols).
+func NewSchema(key string, cols ...Column) Schema {
+	s := types.Schema{}
+	for _, c := range cols {
+		s.Cols = append(s.Cols, types.ColumnDef{Name: c.Name, Type: c.Type})
+	}
+	s.Key = s.ColIndex(key)
+	return Schema{inner: s}
+}
+
+// IsolationLevel selects transaction semantics (§5.1.1).
+type IsolationLevel = txn.Level
+
+// Isolation levels.
+const (
+	// ReadCommitted reads the latest committed version; no validation.
+	ReadCommitted = txn.ReadCommitted
+	// Snapshot reads as of the transaction's begin time.
+	Snapshot = txn.Snapshot
+	// Serializable validates read repeatability at commit.
+	Serializable = txn.Serializable
+)
+
+// Timestamp is a logical engine timestamp (from DB.Now, usable for
+// snapshots and time travel).
+type Timestamp = types.Timestamp
+
+// Row maps column names to values.
+type Row map[string]Value
+
+// ErrConflict is returned when optimistic concurrency control aborts an
+// operation (write-write conflict or failed validation). Retry the
+// transaction.
+var ErrConflict = txn.ErrConflict
+
+// ErrDuplicateKey is returned by Insert for an existing live key.
+var ErrDuplicateKey = core.ErrDuplicateKey
+
+// ErrNotFound is returned by Update/Delete for a missing key.
+var ErrNotFound = core.ErrNotFound
+
+// TableOptions tunes one table's storage.
+type TableOptions struct {
+	// RangeSize is records per update range (power of two; default 4096,
+	// the paper's 2^12 fine-grained partitioning).
+	RangeSize int
+	// MergeBatch is the unmerged-tail-record threshold that triggers a
+	// background merge (default RangeSize/2, the paper's optimum).
+	MergeBatch int
+	// DisableCumulativeUpdates turns off carrying forward prior updated
+	// columns (2-hop reads become chain walks).
+	DisableCumulativeUpdates bool
+	// RowLayout stores base data row-major instead of columnar (the
+	// L-Store (Row) variant of the paper's Tables 8 and 9).
+	RowLayout bool
+	// MergeColumnsIndependently merges each column in its own pass (§4.2).
+	MergeColumnsIndependently bool
+	// SecondaryIndexes lists column names to maintain secondary indexes on.
+	SecondaryIndexes []string
+	// DisableAutoMerge turns off the background merge thread; merges then
+	// run only through Table.Merge (deterministic tests).
+	DisableAutoMerge bool
+}
