@@ -8,7 +8,12 @@
 package lstore_test
 
 import (
+	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -144,6 +149,70 @@ func BenchmarkMergeThroughput(b *testing.B) {
 		b.StartTimer()
 	}
 	b.ReportMetric(total/float64(b.N), "tailrecs/s")
+}
+
+// BenchmarkMergeWorkers compares the background merge-scheduler pool at 1
+// worker vs a GOMAXPROCS-bounded pool under an update-heavy multi-range
+// workload. Reported metrics: committed update throughput and the merge lag
+// (tail records the merge had not yet consumed when the writers stopped).
+func BenchmarkMergeWorkers(b *testing.B) {
+	pool := runtime.GOMAXPROCS(0)
+	if pool > 8 {
+		pool = 8
+	}
+	if pool < 2 {
+		pool = 2 // keep the 1-vs-N comparison meaningful on 1-CPU hosts
+	}
+	for _, workers := range []int{1, pool} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			db := lstore.Open()
+			defer db.Close()
+			tbl, err := db.CreateTable("t", lstore.NewSchema("id",
+				lstore.Column{Name: "id", Type: lstore.Int64},
+				lstore.Column{Name: "v", Type: lstore.Int64},
+			), lstore.TableOptions{RangeSize: 512, MergeBatch: 64, MergeWorkers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			const rows = 8192
+			tx := db.Begin(lstore.ReadCommitted)
+			for i := int64(0); i < rows; i++ {
+				if err := tbl.Insert(tx, lstore.Row{"id": lstore.Int(i), "v": lstore.Int(0)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			const writers = 4
+			per := b.N/writers + 1
+			var committed atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					r := rand.New(rand.NewSource(int64(w)))
+					for i := 0; i < per; i++ {
+						tx := db.Begin(lstore.ReadCommitted)
+						if tbl.Update(tx, r.Int63n(rows), lstore.Row{"v": lstore.Int(int64(i))}) != nil {
+							tx.Abort()
+							continue
+						}
+						if tx.Commit() == nil {
+							committed.Add(1)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			st := tbl.Stats()
+			b.ReportMetric(float64(committed.Load())/b.Elapsed().Seconds(), "txns/s")
+			b.ReportMetric(float64(st.MergeBacklog), "lag-tailrecs")
+		})
+	}
 }
 
 // BenchmarkCumulativeVsChainReads is the ablation for cumulative updates

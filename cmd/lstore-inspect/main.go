@@ -69,7 +69,17 @@ func main() {
 	fmt.Printf("\n== storage state before final merge ==\n")
 	fmt.Printf("inserts=%d updates=%d tail-records=%d\n", st.Inserts, st.Updates, st.TailRecords)
 	fmt.Printf("merges=%d merged-tail-records=%d seals=%d\n", st.Merges, st.MergedTailRecords, st.Seals)
+	fmt.Printf("merge-lag: backlog=%d queue-depth=%d workers=%d\n", st.MergeBacklog, st.MergeQueueDepth, st.MergeWorkers)
 	fmt.Printf("pages retired=%d reclaimed=%d\n", st.PagesRetired, st.PagesReclaimed)
+
+	fmt.Printf("\n== per-range merge lineage (before final merge) ==\n")
+	for _, rl := range tbl.Lineage() {
+		fmt.Printf("range %2d sealed=%-5v tail=%-5d backlog=%-5d", rl.Range, rl.Sealed, rl.Tail, rl.Backlog)
+		for c, cl := range rl.Cols {
+			fmt.Printf("  col%d{cursor=%d tps=%v}", c, cl.Cursor, cl.TPS)
+		}
+		fmt.Println()
+	}
 
 	n := tbl.Merge()
 	moved := tbl.CompressHistory()
@@ -77,6 +87,7 @@ func main() {
 	fmt.Printf("\n== after final merge (+%d records) and history compression (+%d versions) ==\n", n, moved)
 	fmt.Printf("merges=%d merged-tail-records=%d history-passes=%d history-records=%d\n",
 		st.Merges, st.MergedTailRecords, st.HistoryPasses, st.HistoryRecords)
+	fmt.Printf("merge-lag: backlog=%d queue-depth=%d workers=%d\n", st.MergeBacklog, st.MergeQueueDepth, st.MergeWorkers)
 	fmt.Printf("pages retired=%d reclaimed=%d\n", st.PagesRetired, st.PagesReclaimed)
 
 	sum, live, _ := tbl.Sum(db.Now(), "a")

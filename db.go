@@ -74,6 +74,7 @@ func (db *DB) CreateTable(name string, schema Schema, opts ...TableOptions) (*Ta
 		CumulativeUpdates:         !o.DisableCumulativeUpdates,
 		AutoMerge:                 !o.DisableAutoMerge,
 		MergeColumnsIndependently: o.MergeColumnsIndependently,
+		MergeWorkers:              o.MergeWorkers,
 	}
 	if o.RowLayout {
 		cfg.Layout = core.RowLayout
@@ -136,32 +137,55 @@ func (db *DB) Begin(level IsolationLevel) *Txn {
 	return &Txn{db: db, inner: t}
 }
 
-// Txn is one transaction handle.
+// ErrDurabilityUnknown wraps a WAL failure at the commit point: the
+// transaction IS committed in memory (its effects are visible to subsequent
+// reads and cannot be rolled back — append-only storage has no undo), but the
+// commit record may not have reached the log. After a crash, replaying the
+// log may or may not include the transaction. Callers that cannot tolerate
+// the ambiguity should treat the database as failed.
+var ErrDurabilityUnknown = fmt.Errorf("lstore: transaction committed in memory but WAL commit failed; durability unknown")
+
+// Txn is one transaction handle. A handle is not safe for concurrent use.
 type Txn struct {
-	db    *DB
-	inner *txn.Txn
+	db        *DB
+	inner     *txn.Txn
+	committed bool // in-memory commit point passed; Abort becomes a no-op
 }
 
 // Commit validates (per isolation level) and commits. On ErrConflict the
-// transaction has been aborted and may be retried by the caller.
+// transaction has been aborted and may be retried by the caller. An error
+// wrapping ErrDurabilityUnknown means the in-memory commit succeeded but the
+// WAL append failed — the effects are visible and irrevocable, only their
+// durability is in doubt.
 func (t *Txn) Commit() error {
 	if err := t.db.tm.Commit(t.inner); err != nil {
-		if t.db.logger != nil {
+		// A Commit retried after passing the in-memory commit point (e.g.
+		// after ErrDurabilityUnknown) fails validation here too; it must not
+		// append an abort record that could contradict the commit record.
+		if t.db.logger != nil && !t.committed {
 			t.db.logger.Append(wal.Record{Kind: wal.KindAbort, TxnID: t.inner.ID}) //nolint:errcheck
 		}
 		return err
 	}
+	t.committed = true
 	if t.db.logger != nil {
 		if _, err := t.db.logger.AppendCommit(t.inner.ID); err != nil {
-			return err
+			return fmt.Errorf("%w: %v", ErrDurabilityUnknown, err)
 		}
 	}
 	return nil
 }
 
 // Abort rolls the transaction back (its appended versions become
-// tombstones; nothing is physically removed).
+// tombstones; nothing is physically removed). After a Commit that passed the
+// in-memory commit point — including one that failed with
+// ErrDurabilityUnknown — Abort is a no-op: in particular it must NOT append
+// an abort record that could contradict an already-durable commit record on
+// recovery.
 func (t *Txn) Abort() {
+	if t.committed {
+		return
+	}
 	t.db.tm.Abort(t.inner)
 	if t.db.logger != nil {
 		t.db.logger.Append(wal.Record{Kind: wal.KindAbort, TxnID: t.inner.ID}) //nolint:errcheck

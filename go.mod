@@ -1,0 +1,3 @@
+module lstore
+
+go 1.24

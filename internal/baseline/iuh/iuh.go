@@ -102,6 +102,46 @@ func New(ncols int, cfg Config, tm *txn.Manager) *Store {
 // TxnManager returns the shared transaction manager.
 func (s *Store) TxnManager() *txn.Manager { return s.tm }
 
+// lockCols exclusively latches the meta latch (page 0, which guards the
+// start/hist meta columns) plus the given column pages, in canonical
+// ascending order; cols must already be sorted. unlockCols is its mirror.
+// rlockCols/runlockCols are the shared-mode pair.
+func (r *mainRange) lockCols(cols []int) {
+	if len(cols) == 0 || cols[0] != 0 {
+		r.latches[0].Lock()
+	}
+	for _, c := range cols {
+		r.latches[c].Lock()
+	}
+}
+
+func (r *mainRange) unlockCols(cols []int) {
+	for i := len(cols) - 1; i >= 0; i-- {
+		r.latches[cols[i]].Unlock()
+	}
+	if len(cols) == 0 || cols[0] != 0 {
+		r.latches[0].Unlock()
+	}
+}
+
+func (r *mainRange) rlockCols(cols []int) {
+	if len(cols) == 0 || cols[0] != 0 {
+		r.latches[0].RLock()
+	}
+	for _, c := range cols {
+		r.latches[c].RLock()
+	}
+}
+
+func (r *mainRange) runlockCols(cols []int) {
+	for i := len(cols) - 1; i >= 0; i-- {
+		r.latches[cols[i]].RUnlock()
+	}
+	if len(cols) == 0 || cols[0] != 0 {
+		r.latches[0].RUnlock()
+	}
+}
+
 func newMainRange(n, ncols int) *mainRange {
 	r := &mainRange{
 		latches: make([]sync.RWMutex, ncols),
@@ -183,16 +223,9 @@ func (s *Store) Update(t *txn.Txn, key uint64, cols []int, vals []uint64) error 
 		return fmt.Errorf("iuh: key %d not found", key)
 	}
 	r := s.rangeAt(ri)
-	// Exclusive latches on every touched column page plus the meta latch
-	// (page 0 doubles as the meta latch holder to keep ordering canonical).
-	for _, c := range cols {
-		r.latches[c].Lock()
-	}
-	defer func() {
-		for i := len(cols) - 1; i >= 0; i-- {
-			r.latches[cols[i]].Unlock()
-		}
-	}()
+	// Exclusive latches on every touched column page plus the meta latch.
+	r.lockCols(cols)
+	defer r.unlockCols(cols)
 
 	cur := r.start[slot]
 	if cur != t.ID {
@@ -245,17 +278,13 @@ func (s *Store) Abort(t *txn.Txn) {
 	for i := len(recs) - 1; i >= 0; i-- {
 		u := recs[i]
 		r := s.rangeAt(u.ri)
-		for _, c := range u.cols {
-			r.latches[c].Lock()
-		}
+		r.lockCols(u.cols)
 		for j, c := range u.cols {
 			r.cols[c][slot(u)] = u.oldVals[j]
 		}
 		r.start[slot(u)] = u.oldStart
 		r.hist[slot(u)] = u.oldHist
-		for j := len(u.cols) - 1; j >= 0; j-- {
-			r.latches[u.cols[j]].Unlock()
-		}
+		r.unlockCols(u.cols)
 	}
 }
 
@@ -284,9 +313,7 @@ func (s *Store) Read(t *txn.Txn, key uint64, cols []int) ([]uint64, bool) {
 	}
 	r := s.rangeAt(ri)
 	out := make([]uint64, len(cols))
-	for _, c := range cols {
-		r.latches[c].RLock()
-	}
+	r.rlockCols(cols)
 	cur := r.start[sl]
 	visible := cur == t.ID
 	if !visible {
@@ -298,9 +325,7 @@ func (s *Store) Read(t *txn.Txn, key uint64, cols []int) ([]uint64, bool) {
 		for i, c := range cols {
 			out[i] = r.cols[c][sl]
 		}
-		for i := len(cols) - 1; i >= 0; i-- {
-			r.latches[cols[i]].RUnlock()
-		}
+		r.runlockCols(cols)
 		return out, true
 	}
 	// Uncommitted by another txn: reconstruct the committed image from the
@@ -313,9 +338,7 @@ func (s *Store) Read(t *txn.Txn, key uint64, cols []int) ([]uint64, bool) {
 	for _, c := range cols {
 		need |= 1 << uint(c)
 	}
-	for i := len(cols) - 1; i >= 0; i-- {
-		r.latches[cols[i]].RUnlock()
-	}
+	r.runlockCols(cols)
 	s.histMu.Lock()
 	for he >= 0 && need != 0 {
 		e := s.history[he]
@@ -347,12 +370,11 @@ func (s *Store) Read(t *txn.Txn, key uint64, cols []int) ([]uint64, bool) {
 // continues to pay the cost of acquiring read latches on each page").
 func (s *Store) ScanSum(ts types.Timestamp, col int) (int64, int64) {
 	var sum, rows int64
-	s.rangesMu.RLock()
-	ranges := append([]*mainRange(nil), s.ranges...)
-	s.rangesMu.RUnlock()
-	for _, r := range ranges {
-		r.latches[col].RLock()
-		for sl := 0; sl < r.used; sl++ {
+	scanCols := []int{col}
+	for _, sr := range s.snapshotRanges() {
+		r := sr.r
+		r.rlockCols(scanCols)
+		for sl := 0; sl < sr.used; sl++ {
 			cur := r.start[sl]
 			cts, st := s.tm.Resolve(cur)
 			if st == txn.StatusCommitted && cts <= ts {
@@ -370,9 +392,26 @@ func (s *Store) ScanSum(ts types.Timestamp, col int) (int64, int64) {
 				rows++
 			}
 		}
-		r.latches[col].RUnlock()
+		r.runlockCols(scanCols)
 	}
 	return sum, rows
+}
+
+// rangeSnap pairs a range with its row count observed under rangesMu, so
+// scans never race the row allocator.
+type rangeSnap struct {
+	r    *mainRange
+	used int
+}
+
+func (s *Store) snapshotRanges() []rangeSnap {
+	s.rangesMu.RLock()
+	defer s.rangesMu.RUnlock()
+	out := make([]rangeSnap, len(s.ranges))
+	for i, r := range s.ranges {
+		out[i] = rangeSnap{r: r, used: r.used}
+	}
+	return out
 }
 
 // histValueAt walks slot's history chain for col's value at ts. Entries
@@ -460,15 +499,14 @@ func sortColsVals(cols []int, vals []uint64) ([]int, []uint64) {
 func (s *Store) ScanSumSpan(ts types.Timestamp, col int, span int) (int64, int64) {
 	var sum, rows int64
 	remaining := span
-	s.rangesMu.RLock()
-	ranges := append([]*mainRange(nil), s.ranges...)
-	s.rangesMu.RUnlock()
-	for _, r := range ranges {
+	scanCols := []int{col}
+	for _, sr := range s.snapshotRanges() {
 		if remaining <= 0 {
 			break
 		}
-		r.latches[col].RLock()
-		n := r.used
+		r := sr.r
+		r.rlockCols(scanCols)
+		n := sr.used
 		if n > remaining {
 			n = remaining
 		}
@@ -489,7 +527,7 @@ func (s *Store) ScanSumSpan(ts types.Timestamp, col int, span int) (int64, int64
 			}
 		}
 		remaining -= n
-		r.latches[col].RUnlock()
+		r.runlockCols(scanCols)
 	}
 	return sum, rows
 }

@@ -23,6 +23,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"lstore/internal/types"
 )
@@ -73,9 +74,17 @@ type Config struct {
 	// Layout selects columnar (default) or row-major base storage.
 	Layout Layout
 
-	// AutoMerge starts the background merge goroutine. When false, merges
+	// AutoMerge starts the background merge scheduler. When false, merges
 	// run only via ForceMerge (deterministic tests).
 	AutoMerge bool
+
+	// MergeWorkers is the size of the background merge-scheduler pool:
+	// workers drain the shared queue and merge DISTINCT ranges concurrently
+	// (merges of one range still serialize on its lineage lock). The paper's
+	// evaluation runs exactly one merge thread (§6.1); a pool keeps the tail
+	// backlog bounded under update-heavy multi-range workloads. Default:
+	// GOMAXPROCS, capped at 8.
+	MergeWorkers int
 
 	// MergeColumnsIndependently makes the background merge consolidate each
 	// updated column in a separate pass (exercising the per-column lineage
@@ -103,6 +112,12 @@ func (c Config) applyDefaults() Config {
 	if c.MergeBatch == 0 {
 		c.MergeBatch = c.RangeSize / 2 // §6.2: M ≈ 50% of range size
 	}
+	if c.MergeWorkers == 0 {
+		c.MergeWorkers = runtime.GOMAXPROCS(0)
+		if c.MergeWorkers > 8 {
+			c.MergeWorkers = 8
+		}
+	}
 	return c
 }
 
@@ -116,6 +131,9 @@ func (c Config) validate() error {
 	}
 	if c.MergeBatch <= 0 {
 		return fmt.Errorf("core: MergeBatch %d must be positive", c.MergeBatch)
+	}
+	if c.MergeWorkers <= 0 {
+		return fmt.Errorf("core: MergeWorkers %d must be positive", c.MergeWorkers)
 	}
 	return nil
 }

@@ -143,7 +143,7 @@ func (s *Store) compressRangeHistory(r *updateRange) int {
 	r.mergeMu.Lock()
 	defer r.mergeMu.Unlock()
 	tbs := int64(s.cfg.TailBlockSize)
-	targetBlocks := r.minCursorLocked() / tbs
+	targetBlocks := r.lineage.minCursor() / tbs
 	if targetBlocks <= r.histBlocks {
 		return 0
 	}

@@ -139,56 +139,12 @@ func TestInvariantBaseVersionImmutable(t *testing.T) {
 }
 
 // TestInvariantTPSMonotone: per-column TPS never regresses under randomized
-// interleavings of full merges, per-column merges, and updates.
+// interleavings of full merges, per-column merges, and updates. The op-stream
+// replay lives in mergelineage_test.go, shared with the pinned-seed
+// regression test.
 func TestInvariantTPSMonotone(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		cfg := Config{RangeSize: 32, TailBlockSize: 8, MergeBatch: 4, CumulativeUpdates: true}
-		s, err := NewStore(testSchema(), cfg, nil, nil)
-		if err != nil {
-			return false
-		}
-		defer s.Close()
-		tx := s.tm.Begin(txn.ReadCommitted)
-		for i := int64(0); i < 32; i++ {
-			if err := s.Insert(tx, []types.Value{
-				types.IntValue(i), types.IntValue(0), types.IntValue(0), types.IntValue(0),
-			}); err != nil {
-				return false
-			}
-		}
-		if s.tm.Commit(tx) != nil {
-			return false
-		}
-		s.TrySeal(s.rangeAt(0))
-		last := make([]types.RID, 4)
-		for op := 0; op < 60; op++ {
-			switch rng.Intn(3) {
-			case 0:
-				tx := s.tm.Begin(txn.ReadCommitted)
-				col := 1 + rng.Intn(3)
-				if s.Update(tx, rng.Int63n(32), []int{col}, []types.Value{types.IntValue(rng.Int63n(100))}) != nil {
-					s.tm.Abort(tx)
-					continue
-				}
-				if s.tm.Commit(tx) != nil {
-					continue
-				}
-			case 1:
-				s.mergeRange(s.rangeAt(0), -1)
-			case 2:
-				s.MergeColumn(0, rng.Intn(4))
-			}
-			for c := 0; c < 4; c++ {
-				tps := s.RangeTPS(0, c)
-				if tps < last[c] {
-					t.Logf("seed %d: col %d TPS regressed %v -> %v", seed, c, last[c], tps)
-					return false
-				}
-				last[c] = tps
-			}
-		}
-		return true
+		return replayTPSOpStream(t, seed)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)

@@ -45,12 +45,12 @@ func (s *Store) maybeEnqueueMerge(r *updateRange) {
 	}
 }
 
-// pendingTail estimates unconsumed tail records (appended minus the most
+// pendingTail estimates unconsumed tail records (appended minus the least
 // advanced column cursor; an un-merged column keeps the backlog visible).
+// Lock-free: reads the atomic mirror of the min cursor, so writers and stats
+// pollers never block behind an in-flight merge.
 func (r *updateRange) pendingTail() int64 {
-	r.mergeMu.Lock()
-	defer r.mergeMu.Unlock()
-	return r.appended.Load() - r.minCursorLocked()
+	return r.appended.Load() - r.consumedMin.Load()
 }
 
 // insertFull reports whether the insert range has handed out every base RID.
@@ -59,7 +59,10 @@ func (r *updateRange) insertFull() bool {
 	return ib == nil || ib.rids.Used() >= r.n
 }
 
-// mergeWorker is the dedicated merge thread (§6.1 runs exactly one).
+// mergeWorker is one thread of the merge-scheduler pool (§6.1 runs exactly
+// one; Config.MergeWorkers sizes the pool). Workers pop distinct ranges off
+// the shared queue, so ranges merge concurrently while each range's merges
+// serialize on its lineage lock.
 func (s *Store) mergeWorker() {
 	defer s.mergeWG.Done()
 	for r := range s.mergeQ {
@@ -274,24 +277,17 @@ func (s *Store) collectPrefixLocked(r *updateRange, from int64, limit int) []mer
 	return out
 }
 
-// minCursorLocked returns the least-advanced merge cursor across columns.
-func (r *updateRange) minCursorLocked() int64 {
-	if len(r.colCursor) == 0 {
-		return 0
-	}
-	min := r.colCursor[0]
-	for _, v := range r.colCursor[1:] {
-		if v < min {
-			min = v
-		}
-	}
-	return min
-}
-
 // mergeRange consolidates the committed tail prefix into new base versions.
 // col == -1 merges every column together (and refreshes the merge-maintained
 // meta-columns); col >= 0 merges that column independently with its own
-// cursor and TPS (§4.2). Returns the number of tail records consumed.
+// lineage record (§4.2). Returns the number of tail records consumed.
+//
+// Full merges scan from the least-advanced cursor, but each column's
+// EFFECTIVE start is its own cursor: prefix records below it were already
+// consolidated into that column's base version (by an earlier independent
+// column merge), and re-applying them would clobber newer merged values.
+// Published TPS is max(old, new), so full and per-column merges compose in
+// any order without regressing any column's lineage.
 func (s *Store) mergeRange(r *updateRange, col int) int {
 	r.mergeMu.Lock()
 	defer r.mergeMu.Unlock()
@@ -301,9 +297,9 @@ func (s *Store) mergeRange(r *updateRange, col int) int {
 	ncols := s.schema.NumCols()
 	var from int64
 	if col >= 0 {
-		from = r.colCursor[col]
+		from = r.lineage.cursor(col)
 	} else {
-		from = r.minCursorLocked()
+		from = r.lineage.minCursor()
 	}
 	prefix := s.collectPrefixLocked(r, from, 4*s.cfg.MergeBatch)
 	if len(prefix) == 0 {
@@ -324,9 +320,37 @@ func (s *Store) mergeRange(r *updateRange, col int) int {
 	var rowSlab []uint64
 	work := make(map[int][]uint64) // col -> decompressed slots (column layout)
 	if s.cfg.Layout == RowLayout {
-		old := r.colVer(0).data.(rowView)
-		rowSlab = make([]uint64, len(old.data))
-		copy(rowSlab, old.data)
+		// Independent column merges can leave columns pointing at diverged
+		// slabs; a full merge must then rebuild from each column's OWN
+		// version so no column's consolidated state is lost. In the common
+		// case every column still shares one slab — copy it wholesale.
+		first := r.colVer(0).data.(rowView)
+		shared := true
+		for c := 1; c < ncols && shared; c++ {
+			v, ok := r.colVer(c).data.(rowView)
+			shared = ok && &v.data[0] == &first.data[0]
+		}
+		switch {
+		case shared:
+			rowSlab = make([]uint64, len(first.data))
+			copy(rowSlab, first.data)
+		case col >= 0:
+			// A per-column merge publishes a view of one column; only that
+			// stride of the new slab is ever read.
+			rowSlab = make([]uint64, r.n*ncols)
+			src := r.colVer(col).data
+			for i := 0; i < r.n; i++ {
+				rowSlab[i*ncols+col] = src.Get(i)
+			}
+		default:
+			rowSlab = make([]uint64, r.n*ncols)
+			for c := 0; c < ncols; c++ {
+				src := r.colVer(c).data
+				for i := 0; i < r.n; i++ {
+					rowSlab[i*ncols+c] = src.Get(i)
+				}
+			}
+		}
 	}
 	colVals := func(c int) []uint64 {
 		v, ok := work[c]
@@ -349,6 +373,7 @@ func (s *Store) mergeRange(r *updateRange, col int) int {
 	deleted := make(map[int]bool)
 	for i := len(prefix) - 1; i >= 0; i-- {
 		m := &prefix[i]
+		pos := from + int64(i) // flat tail position of this record
 		if m.aborted || m.enc&types.SchemaSnapshotFlag != 0 {
 			continue // tombstones and pre-images carry no new state
 		}
@@ -378,36 +403,45 @@ func (s *Store) mergeRange(r *updateRange, col int) int {
 				continue
 			}
 			newBits &^= bit
+			applied[slot] |= bit
+			if pos < r.lineage.cursor(c) {
+				// Column c's effective start: its base version already
+				// reflects this record (and everything newer below its
+				// cursor); re-applying would overwrite newer merged state.
+				continue
+			}
 			rec := tailRecord{enc: m.enc, block: m.block, slotIdx: m.slotIdx}
 			if v, ok := rec.value(c); ok {
 				set(c, slot, v)
 			}
-			applied[slot] |= bit
 		}
 	}
 
-	// Step 4: compress and swap the page-directory pointers. Columns in the
-	// target set get the new TPS even when untouched by the prefix (a cheap
-	// lineage bump: none of the consumed records changed them).
+	// Step 4: compress and swap the page-directory pointers. Each target
+	// column publishes max(old, new): a column untouched by the consumed
+	// prefix still gets the lineage bump (none of those records changed it),
+	// while a column whose independent merge ran ahead keeps its TPS — and
+	// skips the swap entirely when the prefix is wholly behind its cursor.
 	for c := 0; c < ncols; c++ {
 		if targets&(1<<uint(c)) == 0 {
 			continue
 		}
 		old := r.colVer(c)
+		stamped := r.lineage.advance(c, end, newTPS)
 		switch {
 		case rowSlab != nil:
-			r.cols[c].Store(&colVersion{tps: newTPS, data: rowView{data: rowSlab, ncols: ncols, col: c, n: r.n}})
+			r.cols[c].Store(&colVersion{tps: stamped, data: rowView{data: rowSlab, ncols: ncols, col: c, n: r.n}})
 		default:
 			if v, ok := work[c]; ok {
-				r.cols[c].Store(&colVersion{tps: newTPS, data: page.Encode(v)})
+				r.cols[c].Store(&colVersion{tps: stamped, data: page.Encode(v)})
 			} else {
-				r.cols[c].Store(&colVersion{tps: newTPS, data: old.data})
+				if stamped == old.tps {
+					continue // already consolidated past this prefix
+				}
+				r.cols[c].Store(&colVersion{tps: stamped, data: old.data})
 			}
 		}
 		s.retireVersion(old)
-		if end > r.colCursor[c] {
-			r.colCursor[c] = end
-		}
 	}
 
 	// Merged deletes become visible to the point-read fast path.
@@ -434,7 +468,7 @@ func (s *Store) mergeRange(r *updateRange, col int) int {
 				encs[slot] |= bits &^ types.SchemaDeleteFlag
 			}
 			r.meta.Store(&metaVersion{
-				tps:         newTPS,
+				tps:         r.lineage.advanceMeta(end, newTPS),
 				startTime:   mv.startTime,
 				lastUpdated: page.Encode(last),
 				schemaEnc:   page.Encode(encs),
@@ -442,6 +476,7 @@ func (s *Store) mergeRange(r *updateRange, col int) int {
 		}
 	}
 
+	r.consumedMin.Store(r.lineage.minCursor())
 	s.stats.Merges.Add(1)
 	s.stats.MergedTailRecords.Add(uint64(len(prefix)))
 	return len(prefix)

@@ -67,13 +67,16 @@ type updateRange struct {
 	cur        *tailBlock // guarded by tmu for rollover; Take itself is lock-free
 
 	// appended counts published tail records (high-watermark for merge
-	// scanning). colCursor[c] is the flat count of tail records column c's
-	// merges have consumed (guarded by mergeMu); full merges advance every
-	// cursor. inQueue deduplicates merge-queue entries.
-	appended  atomic.Int64
-	mergeMu   sync.Mutex
-	colCursor []int64
-	inQueue   atomic.Bool
+	// scanning). lineage holds each column's {cursor, tps} merge-state record
+	// (guarded by mergeMu; see mergelineage.go for the invariants).
+	// consumedMin mirrors lineage.minCursor() atomically so backlog estimates
+	// (enqueue triggers, stats gauges) never block behind an in-flight merge.
+	// inQueue deduplicates merge-queue entries.
+	appended    atomic.Int64
+	mergeMu     sync.Mutex
+	lineage     mergeLineage
+	consumedMin atomic.Int64
+	inQueue     atomic.Bool
 
 	// Historic compression state (§4.3): tail records with RID <= histUpto
 	// live in hist, and their blocks have been retired. histBlocks counts
@@ -93,7 +96,7 @@ func newUpdateRange(s *Store, idx int, firstRID types.RID, n int) (*updateRange,
 		everUpdated: make([]atomic.Uint64, n),
 		deletedBits: make([]atomic.Uint64, (n+63)/64),
 		cols:        make([]atomic.Pointer[colVersion], s.schema.NumCols()),
-		colCursor:   make([]int64, s.schema.NumCols()),
+		lineage:     newMergeLineage(s.schema.NumCols()),
 	}
 	empty := []*tailBlock{}
 	r.tailBlocks.Store(&empty)

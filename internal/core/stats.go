@@ -21,7 +21,11 @@ type Stats struct {
 	HistoryRecords    atomic.Uint64
 }
 
-// StatsSnapshot is a point-in-time copy of the counters.
+// StatsSnapshot is a point-in-time copy of the counters, plus the merge-lag
+// gauges (computed at snapshot time, not monotone): MergeBacklog is the
+// number of appended tail records not yet consumed by every column's merge
+// across all ranges — the distance between writers and the merge scheduler —
+// and MergeQueueDepth is how many ranges currently wait in the merge queue.
 type StatsSnapshot struct {
 	Inserts           uint64
 	Updates           uint64
@@ -37,11 +41,15 @@ type StatsSnapshot struct {
 	PagesReclaimed    uint64
 	HistoryPasses     uint64
 	HistoryRecords    uint64
+
+	MergeBacklog    int64
+	MergeQueueDepth int
+	MergeWorkers    int
 }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters and merge-lag gauges.
 func (s *Store) Stats() StatsSnapshot {
-	return StatsSnapshot{
+	snap := StatsSnapshot{
 		Inserts:           s.stats.Inserts.Load(),
 		Updates:           s.stats.Updates.Load(),
 		Deletes:           s.stats.Deletes.Load(),
@@ -56,5 +64,13 @@ func (s *Store) Stats() StatsSnapshot {
 		PagesReclaimed:    s.stats.PagesReclaimed.Load(),
 		HistoryPasses:     s.stats.HistoryPasses.Load(),
 		HistoryRecords:    s.stats.HistoryRecords.Load(),
+		MergeQueueDepth:   len(s.mergeQ),
 	}
+	if s.cfg.AutoMerge {
+		snap.MergeWorkers = s.cfg.MergeWorkers // 0 when no pool is running
+	}
+	for i := 0; i < s.rangeCount(); i++ {
+		snap.MergeBacklog += s.rangeAt(i).pendingTail()
+	}
+	return snap
 }

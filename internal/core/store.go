@@ -92,8 +92,10 @@ func NewStore(schema types.Schema, cfg Config, tm *txn.Manager, em *epoch.Manage
 		return nil, err
 	}
 	if cfg.AutoMerge {
-		s.mergeWG.Add(1)
-		go s.mergeWorker()
+		for i := 0; i < cfg.MergeWorkers; i++ {
+			s.mergeWG.Add(1)
+			go s.mergeWorker()
+		}
 	}
 	return s, nil
 }

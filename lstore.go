@@ -129,6 +129,9 @@ type TableOptions struct {
 	RowLayout bool
 	// MergeColumnsIndependently merges each column in its own pass (§4.2).
 	MergeColumnsIndependently bool
+	// MergeWorkers sizes the background merge-scheduler pool (distinct
+	// ranges merge concurrently; default GOMAXPROCS, capped at 8).
+	MergeWorkers int
 	// SecondaryIndexes lists column names to maintain secondary indexes on.
 	SecondaryIndexes []string
 	// DisableAutoMerge turns off the background merge thread; merges then

@@ -2,6 +2,7 @@ package lstore
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -233,6 +234,59 @@ func TestMergeAndCompressThroughAPI(t *testing.T) {
 		t.Fatalf("sum after merges = %d", sum)
 	}
 	tbl.CompressHistory()
+}
+
+// failingWriter errors on every Write: the WAL's buffered appends succeed
+// but the commit-point flush fails.
+type failingWriter struct{ writes int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return 0, errors.New("simulated log device failure")
+}
+
+// TestWALCommitFailureContract pins the Txn.Commit durability contract: when
+// the WAL fails at the commit point, the error wraps ErrDurabilityUnknown,
+// the transaction's effects remain visible (the in-memory commit is
+// irrevocable), and a subsequent Abort appends no abort record that could
+// contradict a durable commit record on recovery.
+func TestWALCommitFailureContract(t *testing.T) {
+	db := Open(WithWAL(&failingWriter{}, nil))
+	defer db.Close()
+	tbl, err := db.CreateTable("accounts", accountsSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin(ReadCommitted)
+	if err := tbl.Insert(tx, Row{"id": Int(1), "owner": Str("a"), "balance": Int(10)}); err != nil {
+		t.Fatal(err)
+	}
+	err = tx.Commit()
+	if !errors.Is(err, ErrDurabilityUnknown) {
+		t.Fatalf("Commit error = %v, want ErrDurabilityUnknown", err)
+	}
+	// The commit happened in memory: effects are visible to later readers.
+	tx2 := db.Begin(ReadCommitted)
+	defer tx2.Abort()
+	row, ok, err := tbl.Get(tx2, 1, "balance")
+	if err != nil || !ok || row["balance"].Int() != 10 {
+		t.Fatalf("committed row not visible after WAL failure: %v %v %v", row, ok, err)
+	}
+	// Abort after the failed-durability commit must be a no-op.
+	before := db.logger.Appended()
+	tx.Abort()
+	if got := db.logger.Appended(); got != before {
+		t.Fatalf("Abort after commit appended %d log records", got-before)
+	}
+	// A retried Commit fails (already committed) but must not append an
+	// abort record either — recovery could see both a commit and an abort
+	// for the same transaction.
+	if err := tx.Commit(); err == nil {
+		t.Fatal("retried Commit unexpectedly succeeded")
+	}
+	if got := db.logger.Appended(); got != before {
+		t.Fatalf("retried Commit appended %d log records", got-before)
+	}
 }
 
 func TestWALRecovery(t *testing.T) {

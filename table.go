@@ -211,8 +211,12 @@ func (tb *Table) Merge() int { return tb.store.ForceMerge() }
 // delta-compressed history store (§4.3). Returns records moved.
 func (tb *Table) CompressHistory() int { return tb.store.CompressHistory() }
 
-// Stats returns engine counters.
+// Stats returns engine counters and merge-lag gauges.
 func (tb *Table) Stats() core.StatsSnapshot { return tb.store.Stats() }
+
+// Lineage reports every update range's per-column merge lineage
+// ({cursor, TPS} records; see §4.2) for introspection tools.
+func (tb *Table) Lineage() []core.RangeLineage { return tb.store.LineageSnapshot() }
 
 func toTyped(v Value) wal.TypedVal {
 	switch {
