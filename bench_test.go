@@ -272,3 +272,84 @@ func BenchmarkCumulativeVsChainReads(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkScanRangeCallback measures the full-table callback scan
+// (Table.Scan) — the ScanRange path through the shared scan engine.
+func BenchmarkScanRangeCallback(b *testing.B) {
+	db := lstore.Open()
+	defer db.Close()
+	tbl, err := db.CreateTable("t", lstore.NewSchema("id",
+		lstore.Column{Name: "id", Type: lstore.Int64},
+		lstore.Column{Name: "v", Type: lstore.Int64},
+		lstore.Column{Name: "w", Type: lstore.Int64},
+	), lstore.TableOptions{RangeSize: 2048, DisableAutoMerge: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const rows = 16384
+	tx := db.Begin(lstore.ReadCommitted)
+	for i := int64(0); i < rows; i++ {
+		if err := tbl.Insert(tx, lstore.Row{"id": lstore.Int(i), "v": lstore.Int(i), "w": lstore.Int(-i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	tbl.Merge()
+	ts := db.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := tbl.Scan(ts, []string{"v", "w"}, func(key int64, row lstore.Row) bool {
+			n++
+			return true
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if n != rows {
+			b.Fatalf("scanned %d rows", n)
+		}
+	}
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkLookupSecondary measures secondary-index probes (Table.FindBy)
+// through the scan engine's point face.
+func BenchmarkLookupSecondary(b *testing.B) {
+	db := lstore.Open()
+	defer db.Close()
+	tbl, err := db.CreateTable("t", lstore.NewSchema("id",
+		lstore.Column{Name: "id", Type: lstore.Int64},
+		lstore.Column{Name: "grp", Type: lstore.Int64},
+	), lstore.TableOptions{RangeSize: 2048, DisableAutoMerge: true,
+		SecondaryIndexes: []string{"grp"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const rows = 16384
+	tx := db.Begin(lstore.ReadCommitted)
+	for i := int64(0); i < rows; i++ {
+		if err := tbl.Insert(tx, lstore.Row{"id": lstore.Int(i), "grp": lstore.Int(i % 512)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	tbl.Merge()
+	ts := db.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keys, err := tbl.FindBy(ts, "grp", lstore.Int(int64(i%512)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(keys) != rows/512 {
+			b.Fatalf("probe returned %d keys", len(keys))
+		}
+	}
+	b.ReportMetric(float64(rows/512)*float64(b.N)/b.Elapsed().Seconds(), "probes/s")
+}

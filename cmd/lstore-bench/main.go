@@ -25,12 +25,14 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id or 'all' ("+strings.Join(bench.ExperimentIDs, " ")+")")
-		rows       = flag.Int("rows", 65536, "preloaded table size (paper: 10M)")
-		duration   = flag.Duration("duration", time.Second, "measurement window per cell")
-		rangeSize  = flag.Int("range", 4096, "L-Store update-range size (power of two)")
-		mergeBatch = flag.Int("merge-batch", 0, "L-Store merge batch (default range/2)")
-		threads    = flag.String("threads", "1,2,4,8,16,22", "update-thread grid for fig7")
+		experiment  = flag.String("experiment", "all", "experiment id or 'all' ("+strings.Join(bench.ExperimentIDs, " ")+")")
+		rows        = flag.Int("rows", 65536, "preloaded table size (paper: 10M)")
+		duration    = flag.Duration("duration", time.Second, "measurement window per cell")
+		rangeSize   = flag.Int("range", 4096, "L-Store update-range size (power of two)")
+		mergeBatch  = flag.Int("merge-batch", 0, "L-Store merge batch (default range/2)")
+		scanWorkers = flag.Int("scan-workers", 0, "L-Store scan worker pool (0 = GOMAXPROCS-bounded default)")
+		threads     = flag.String("threads", "1,2,4,8,16,22", "update-thread grid for fig7")
+		jsonPath    = flag.String("json", "", "also write machine-readable results (BENCH_*.json trajectory) to this path")
 	)
 	flag.Parse()
 
@@ -40,12 +42,16 @@ func main() {
 		os.Exit(2)
 	}
 	opts := bench.Options{
-		TableSize:  *rows,
-		Duration:   *duration,
-		Threads:    grid,
-		RangeSize:  *rangeSize,
-		MergeBatch: *mergeBatch,
-		Out:        os.Stdout,
+		TableSize:   *rows,
+		Duration:    *duration,
+		Threads:     grid,
+		RangeSize:   *rangeSize,
+		MergeBatch:  *mergeBatch,
+		ScanWorkers: *scanWorkers,
+		Out:         os.Stdout,
+	}
+	if *jsonPath != "" {
+		opts.Report = bench.NewReport(opts)
 	}
 
 	fmt.Printf("L-Store benchmark harness — %d rows, %v per cell, GOMAXPROCS=%d\n",
@@ -68,6 +74,23 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if opts.Report != nil {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		werr := opts.Report.Write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, werr)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d samples to %s\n", len(opts.Report.Samples), *jsonPath)
 	}
 }
 

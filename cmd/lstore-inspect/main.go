@@ -92,4 +92,11 @@ func main() {
 
 	sum, live, _ := tbl.Sum(db.Now(), "a")
 	fmt.Printf("\nfinal: rows=%d sum(a)=%d\n", live, sum)
+
+	// Scan-engine gauges: how many slots the columnar fast path served vs
+	// the readCols chain walk, across every Sum/Scan/FindBy so far. A
+	// growing slow share means update lineage is outrunning the merge.
+	st = tbl.Stats()
+	fmt.Printf("scan engine: workers=%d fast-slots=%d slow-slots=%d\n",
+		st.ScanWorkers, st.ScanFastSlots, st.ScanSlowSlots)
 }

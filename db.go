@@ -75,6 +75,7 @@ func (db *DB) CreateTable(name string, schema Schema, opts ...TableOptions) (*Ta
 		AutoMerge:                 !o.DisableAutoMerge,
 		MergeColumnsIndependently: o.MergeColumnsIndependently,
 		MergeWorkers:              o.MergeWorkers,
+		ScanWorkers:               o.ScanWorkers,
 	}
 	if o.RowLayout {
 		cfg.Layout = core.RowLayout

@@ -50,9 +50,10 @@ type LStoreEngine struct {
 
 // LStoreOptions tunes the adapter.
 type LStoreOptions struct {
-	RangeSize  int
-	MergeBatch int
-	RowLayout  bool
+	RangeSize   int
+	MergeBatch  int
+	ScanWorkers int
+	RowLayout   bool
 	// DisableAutoMerge turns the background merge thread off (Figure 8
 	// sweeps merge batch sizes with explicit control).
 	DisableAutoMerge bool
@@ -67,6 +68,7 @@ func NewLStore(ncols int, o LStoreOptions) (*LStoreEngine, error) {
 	cfg := core.Config{
 		RangeSize:         o.RangeSize,
 		MergeBatch:        o.MergeBatch,
+		ScanWorkers:       o.ScanWorkers,
 		CumulativeUpdates: true,
 		AutoMerge:         !o.DisableAutoMerge,
 	}

@@ -12,12 +12,16 @@ import (
 // paper's shapes at laptop scale (the paper ran 10 M-row active sets on a
 // 24-thread Xeon; we preserve the contention ratios and thread sweeps).
 type Options struct {
-	TableSize  int           // preloaded rows (default 65536)
-	Duration   time.Duration // measurement window per cell (default 1s)
-	Threads    []int         // update-thread grid for Figure 7
-	RangeSize  int           // L-Store update range (default 4096)
-	MergeBatch int           // L-Store merge batch (default RangeSize/2)
-	Out        io.Writer
+	TableSize   int           // preloaded rows (default 65536)
+	Duration    time.Duration // measurement window per cell (default 1s)
+	Threads     []int         // update-thread grid for Figure 7
+	RangeSize   int           // L-Store update range (default 4096)
+	MergeBatch  int           // L-Store merge batch (default RangeSize/2)
+	ScanWorkers int           // L-Store scan worker pool (0 = engine default)
+	Out         io.Writer
+	// Report, when non-nil, collects one Sample per measured cell for the
+	// -json output of cmd/lstore-bench.
+	Report *Report
 }
 
 func (o Options) withDefaults() Options {
@@ -56,9 +60,9 @@ const (
 func (o Options) build(k engineKind, ncols int) (Engine, error) {
 	switch k {
 	case kindLStore:
-		return NewLStore(ncols, LStoreOptions{RangeSize: o.RangeSize, MergeBatch: o.MergeBatch})
+		return NewLStore(ncols, LStoreOptions{RangeSize: o.RangeSize, MergeBatch: o.MergeBatch, ScanWorkers: o.ScanWorkers})
 	case kindLStoreRow:
-		return NewLStore(ncols, LStoreOptions{RangeSize: o.RangeSize, MergeBatch: o.MergeBatch, RowLayout: true})
+		return NewLStore(ncols, LStoreOptions{RangeSize: o.RangeSize, MergeBatch: o.MergeBatch, ScanWorkers: o.ScanWorkers, RowLayout: true})
 	case kindIUH:
 		return NewIUH(ncols, o.RangeSize), nil
 	case kindDBM:
@@ -106,6 +110,11 @@ func Fig7(o Options, c workload.Contention) error {
 				Duration: o.Duration, ReadsPerTxn: -1, WritesPerTxn: -1, Seed: int64(threads),
 			})
 			row[i] = res.TxnsPerSec
+			o.record(Sample{
+				Experiment: fmt.Sprintf("fig7%c", 'a'+int(c)), System: e.Name(),
+				Labels:     map[string]int{"threads": threads},
+				TxnsPerSec: res.TxnsPerSec,
+			})
 			e.Close()
 		}
 		o.printf("%-8d %14.0f %14.0f %14.0f\n", threads, row[0], row[1], row[2])
@@ -129,7 +138,7 @@ func Fig8(o Options) error {
 	for _, m := range batches {
 		times := make([]time.Duration, 2)
 		for i, threads := range []int{4, 16} {
-			e, err := NewLStore(w.NumCols, LStoreOptions{RangeSize: o.RangeSize, MergeBatch: m})
+			e, err := NewLStore(w.NumCols, LStoreOptions{RangeSize: o.RangeSize, MergeBatch: m, ScanWorkers: o.ScanWorkers})
 			if err != nil {
 				return err
 			}
@@ -142,6 +151,12 @@ func Fig8(o Options) error {
 				Duration: o.Duration, ReadsPerTxn: -1, WritesPerTxn: -1, Seed: int64(m),
 			})
 			times[i] = res.ScanAvg
+			o.record(Sample{
+				Experiment: "fig8", System: e.Name(),
+				Labels:      map[string]int{"merge_batch": m, "threads": threads},
+				ScanMillis:  scanMS(res.ScanAvg),
+				ScansPerSec: res.ScansPerSec,
+			})
 			e.Close()
 		}
 		o.printf("%-12d %18.2f %18.2f\n", m,
@@ -170,6 +185,12 @@ func Table7(o Options) error {
 			Duration: o.Duration, ReadsPerTxn: -1, WritesPerTxn: -1, Seed: 7,
 		})
 		o.printf("%-28s %12.2f\n", e.Name(), float64(res.ScanAvg.Microseconds())/1000)
+		o.record(Sample{
+			Experiment: "table7", System: e.Name(),
+			Labels:      map[string]int{"threads": 16},
+			ScanMillis:  scanMS(res.ScanAvg),
+			ScansPerSec: res.ScansPerSec,
+		})
 		e.Close()
 	}
 	return nil
@@ -199,6 +220,11 @@ func Fig9(o Options, c workload.Contention) error {
 				Duration: o.Duration, ReadsPerTxn: nr, WritesPerTxn: nw, Seed: int64(pct),
 			})
 			row[i] = res.TxnsPerSec
+			o.record(Sample{
+				Experiment: fmt.Sprintf("fig9%c", 'a'+int(c)), System: e.Name(),
+				Labels:     map[string]int{"read_pct": pct},
+				TxnsPerSec: res.TxnsPerSec,
+			})
 			e.Close()
 		}
 		o.printf("%-8d %14.0f %14.0f %14.0f\n", pct, row[0], row[1], row[2])
@@ -234,6 +260,12 @@ func Fig10(o Options, c workload.Contention) error {
 			})
 			upd[i] = res.TxnsPerSec
 			rd[i] = res.ScansPerSec
+			o.record(Sample{
+				Experiment: fmt.Sprintf("fig10-%s", c), System: e.Name(),
+				Labels:      map[string]int{"update_threads": updates, "scan_threads": scans},
+				TxnsPerSec:  res.TxnsPerSec,
+				ScansPerSec: res.ScansPerSec,
+			})
 			e.Close()
 		}
 		o.printf("%-14s %12.0f %12.0f %12.0f %12.1f %12.1f %12.1f\n",
@@ -270,6 +302,17 @@ func Table8(o Options) error {
 		})
 		o.printf("%-24s %16.2f %16.2f\n", e.Name(),
 			float64(cold.Microseconds())/1000, float64(res.ScanAvg.Microseconds())/1000)
+		o.record(Sample{
+			Experiment: "table8", System: e.Name(),
+			Labels:     map[string]int{"threads": 0},
+			ScanMillis: scanMS(cold),
+		})
+		o.record(Sample{
+			Experiment: "table8", System: e.Name(),
+			Labels:      map[string]int{"threads": 16},
+			ScanMillis:  scanMS(res.ScanAvg),
+			ScansPerSec: res.ScansPerSec,
+		})
 		e.Close()
 	}
 	return nil
@@ -303,6 +346,11 @@ func Table9(o Options) error {
 				PointReadPctCols: pct, Seed: int64(pct),
 			})
 			o.printf(" %10.0f", res.TxnsPerSec)
+			o.record(Sample{
+				Experiment: "table9", System: e.Name(),
+				Labels:     map[string]int{"pct_cols": pct},
+				TxnsPerSec: res.TxnsPerSec,
+			})
 		}
 		o.printf("\n")
 		e.Close()

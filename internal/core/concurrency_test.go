@@ -400,3 +400,68 @@ func TestQuickCheckRandomOpSequences(t *testing.T) {
 
 // nil2t lets the helper accept the same *testing.T within quick.Check.
 func nil2t(t *testing.T) *testing.T { return t }
+
+// TestInsertSealRaceKeepsRecords: an insert that reserved the LAST slot of
+// the insert range races a seal of that (now "full") range. The reserved
+// slot's ∅ Start Time looks exactly like a neutralized slot, so before
+// tailBlock.pending a TrySeal in that window discarded the in-flight record
+// and nil'd the insert block under the writer (nil-pointer panic in Insert,
+// or a committed row that silently vanished). Every committed insert must
+// remain readable afterwards.
+func TestInsertSealRaceKeepsRecords(t *testing.T) {
+	cfg := testConfig()
+	cfg.RangeSize = 64
+	for round := 0; round < 30; round++ {
+		s := newTestStore(t, cfg)
+		const total = 192 // 3 ranges worth, inserted by racing writers
+		var committed [total]atomic.Bool
+		var writers, sealer sync.WaitGroup
+		stopSeal := make(chan struct{})
+		sealer.Add(1)
+		go func() { // sealer: hammer TrySeal on every range
+			defer sealer.Done()
+			for {
+				select {
+				case <-stopSeal:
+					return
+				default:
+				}
+				for ri := 0; ri < s.rangeCount(); ri++ {
+					s.TrySeal(s.rangeAt(ri))
+				}
+			}
+		}()
+		for w := 0; w < 4; w++ {
+			writers.Add(1)
+			go func(w int) {
+				defer writers.Done()
+				for k := w; k < total; k += 4 {
+					tx := s.tm.Begin(txn.ReadCommitted)
+					err := s.Insert(tx, []types.Value{
+						types.IntValue(int64(k)), types.IntValue(int64(k)),
+						types.IntValue(0), types.IntValue(0),
+					})
+					if err != nil {
+						s.tm.Abort(tx)
+						continue
+					}
+					if s.tm.Commit(tx) == nil {
+						committed[k].Store(true)
+					}
+				}
+			}(w)
+		}
+		writers.Wait()
+		close(stopSeal)
+		sealer.Wait()
+		for k := 0; k < total; k++ {
+			if !committed[k].Load() {
+				continue
+			}
+			if _, ok := getRow(t, s, int64(k)); !ok {
+				t.Fatalf("round %d: committed insert %d vanished", round, k)
+			}
+		}
+		s.Close()
+	}
+}

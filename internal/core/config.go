@@ -86,6 +86,14 @@ type Config struct {
 	// GOMAXPROCS, capped at 8.
 	MergeWorkers int
 
+	// ScanWorkers sizes the analytical-scan worker pool: ScanSum/ScanRange
+	// fan independent update ranges out across up to this many goroutines
+	// (aggregates merge per-worker partials; callback scans stage rows so
+	// delivery order stays sequential). 1 keeps scans single-threaded.
+	// Default: GOMAXPROCS, capped at 8; an explicit larger value is honored
+	// (useful for tests that force the parallel path).
+	ScanWorkers int
+
 	// MergeColumnsIndependently makes the background merge consolidate each
 	// updated column in a separate pass (exercising the per-column lineage
 	// of §4.2). Point reads and scans remain correct either way; full-range
@@ -118,6 +126,12 @@ func (c Config) applyDefaults() Config {
 			c.MergeWorkers = 8
 		}
 	}
+	if c.ScanWorkers == 0 {
+		c.ScanWorkers = runtime.GOMAXPROCS(0)
+		if c.ScanWorkers > 8 {
+			c.ScanWorkers = 8
+		}
+	}
 	return c
 }
 
@@ -134,6 +148,9 @@ func (c Config) validate() error {
 	}
 	if c.MergeWorkers <= 0 {
 		return fmt.Errorf("core: MergeWorkers %d must be positive", c.MergeWorkers)
+	}
+	if c.ScanWorkers <= 0 {
+		return fmt.Errorf("core: ScanWorkers %d must be positive", c.ScanWorkers)
 	}
 	return nil
 }

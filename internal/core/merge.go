@@ -106,11 +106,10 @@ func (s *Store) TrySeal(r *updateRange) bool {
 	if ib == nil {
 		return false
 	}
-	used := ib.rids.Used()
-	if used < r.n {
+	if ib.rids.Used() < r.n {
 		return false // auto-seal only full ranges; ForceSeal handles tails
 	}
-	return s.sealLocked(r, ib, used)
+	return s.sealLocked(r, ib)
 }
 
 // ForceSeal seals a partially filled insert range (tests, shutdown flushes).
@@ -125,10 +124,23 @@ func (s *Store) ForceSeal(r *updateRange) bool {
 	if ib == nil {
 		return false
 	}
-	return s.sealLocked(r, ib, ib.rids.Used())
+	return s.sealLocked(r, ib)
 }
 
-func (s *Store) sealLocked(r *updateRange, ib *tailBlock, used int) bool {
+func (s *Store) sealLocked(r *updateRange, ib *tailBlock) bool {
+	// Quiesce reservations before reading anything: a reserved slot whose
+	// Start Time is still ∅ is indistinguishable from a neutralized one, so
+	// sealing past an in-flight insert would silently discard the record.
+	// Inserters announce through pending BEFORE checking sealing and taking
+	// a slot, so once sealing is set and pending reads 0, no further take
+	// can succeed and the Used() snapshot below is final. On deferral the
+	// inserter re-enqueues the range when it finishes (or rolls over).
+	ib.sealing.Store(true)
+	if ib.pending.Load() != 0 {
+		ib.sealing.Store(false)
+		return false
+	}
+	used := ib.rids.Used()
 	n := r.n
 	// Every published record must be resolved; pending writers or
 	// unresolved transactions defer the seal.

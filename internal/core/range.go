@@ -46,9 +46,14 @@ type updateRange struct {
 
 	// everUpdated is a live per-record bitmap of columns ever updated
 	// (including via uncommitted/aborted attempts); it gates the scan fast
-	// path. deletedBits marks records whose delete tombstone has been merged
-	// into base pages (gates the point-read fast path).
+	// path. updatedBits packs one ever-updated bit per slot (64 slots per
+	// word) and is set BEFORE the matching everUpdated word, so a clear
+	// packed bit guarantees a zero everUpdated word: scans classify 64
+	// clean slots with a single load. deletedBits marks records whose
+	// delete tombstone has been merged into base pages (gates the
+	// point-read fast path).
 	everUpdated []atomic.Uint64
+	updatedBits []atomic.Uint64 // bit per slot, packed 64/word
 	deletedBits []atomic.Uint64 // bit per slot, packed 64/word
 
 	// Base versions. cols[i] is nil until the range is sealed; while nil the
@@ -94,6 +99,7 @@ func newUpdateRange(s *Store, idx int, firstRID types.RID, n int) (*updateRange,
 		n:           n,
 		indirection: make([]uint64, n),
 		everUpdated: make([]atomic.Uint64, n),
+		updatedBits: make([]atomic.Uint64, (n+63)/64),
 		deletedBits: make([]atomic.Uint64, (n+63)/64),
 		cols:        make([]atomic.Pointer[colVersion], s.schema.NumCols()),
 		lineage:     newMergeLineage(s.schema.NumCols()),
@@ -176,15 +182,12 @@ func (r *updateRange) setMergedDeleted(slot int) {
 	}
 }
 
-// markEverUpdated ORs bits into slot's ever-updated bitmap.
+// markEverUpdated ORs bits into slot's ever-updated bitmap. The packed
+// per-slot bit is published first: a scan that observes it clear may assume
+// the slot's everUpdated word is still zero.
 func (r *updateRange) markEverUpdated(slot int, bits uint64) {
-	w := &r.everUpdated[slot]
-	for {
-		old := w.Load()
-		if old&bits == bits || w.CompareAndSwap(old, old|bits) {
-			return
-		}
-	}
+	r.updatedBits[slot>>6].Or(1 << uint(slot&63))
+	r.everUpdated[slot].Or(bits)
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,657 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lstore/internal/page"
+	"lstore/internal/types"
+)
+
+// This file is the table's one columnar batch-read subsystem: every
+// analytical read path — ScanSum/ScanSumRIDs, ScanRange, and the probe side
+// of LookupSecondary — funnels through it instead of growing its own inline
+// fast path (§4.2's TPS interpretation and §6.1's "SUM over a continuously
+// updated column" are the shapes it serves).
+//
+// The engine has two faces:
+//
+//   - rangeScanner: the bulk face. For a sealed range it decodes the needed
+//     column pages and the Start/Last Updated meta pages once into pooled
+//     scratch buffers (one sequential decompression instead of per-slot
+//     point access), classifies slots word-at-a-time against the packed
+//     ever-updated bitmap (64 clean slots per load), and walks the readCols
+//     chain only for slots with unmerged lineage.
+//
+//   - probeSlot: the point face. Secondary-index probes hit scattered slots,
+//     so bulk decode would not amortize; the probe applies the same
+//     classification per slot against the compressed pages directly.
+//
+// Scans optionally fan independent ranges out across a worker pool
+// (Config.ScanWorkers): aggregates merge per-worker partials after the pool
+// drains, and callback scans stage each range's rows so delivery order is
+// exactly the sequential order.
+
+// ---------------------------------------------------------------------------
+// Pooled scratch
+
+// scanScratch holds one scanner's decode buffers. Scratch cycles through a
+// sync.Pool so steady-state scans allocate nothing regardless of range count
+// or column count.
+type scanScratch struct {
+	data  [][]uint64    // decoded data page per requested column
+	cvs   []*colVersion // pinned column versions (immutable snapshots)
+	start []uint64      // decoded Start Time meta page
+	last  []uint64      // decoded Last Updated Time meta page
+	out   []uint64      // readCols fallback output
+	vals  []uint64      // per-slot staging row handed to emit
+	rids  []types.RID   // secondary-index probe buffer
+}
+
+var scanScratchPool = sync.Pool{New: func() any { return new(scanScratch) }}
+
+// rowBatch stages one range's emitted rows for the ordered parallel
+// ScanRange pipeline (flat, stride = len(readCols)).
+type rowBatch struct{ rows []uint64 }
+
+var rowBatchPool = sync.Pool{New: func() any { return new(rowBatch) }}
+
+// ---------------------------------------------------------------------------
+// rangeScanner: the bulk face
+
+// gatherCols captures the requested columns' immutable base versions into
+// cvs and returns their TPS extrema; ok is false while any column is still
+// unsealed. Both engine faces pin versions through this so the tps checks
+// and the page reads always use the same snapshots.
+func gatherCols(r *updateRange, cols []int, cvs []*colVersion) (minTPS, maxTPS types.RID, ok bool) {
+	minTPS = ^types.RID(0)
+	for i, c := range cols {
+		cv := r.colVer(c)
+		if cv == nil {
+			return 0, 0, false
+		}
+		cvs[i] = cv
+		if cv.tps < minTPS {
+			minTPS = cv.tps
+		}
+		if cv.tps > maxTPS {
+			maxTPS = cv.tps
+		}
+	}
+	return minTPS, maxTPS, true
+}
+
+// mergedCurrent is the engine's ONE merged-visibility predicate: it reports
+// whether an updated slot's merged base-page state is exactly its state at
+// ts — base record visible (raw, the slot's resolved Start Time), the whole
+// version chain consolidated into every requested column (Indirection at or
+// below minTPS), and the newest consolidated change committed at or before
+// the snapshot (lu, the slot's Last Updated Time). deleted reports a merged
+// delete tombstone. raw and lu must come from one meta version satisfying
+// mv.tps >= maxTPS, or lu may not cover everything the column TPS claims
+// (§4.2's TPS interpretation + the Last Updated Time column's purpose).
+func (r *updateRange) mergedCurrent(ts types.Timestamp, slot int, raw, lu uint64, minTPS types.RID) (serve, deleted bool) {
+	if raw == types.NullSlot || raw > ts {
+		return false, false
+	}
+	if ind := r.loadIndirection(slot); ind == 0 || ind > minTPS {
+		return false, false
+	}
+	if lu == types.NullSlot || lu > ts {
+		return false, false
+	}
+	return true, r.isMergedDeleted(slot)
+}
+
+// rangeScanner streams the visible records of ranges under one snapshot
+// view. A scanner is single-goroutine; parallel scans give each worker its
+// own. fast/slow count slots served from decoded pages vs the chain walk
+// (flushed into the store gauges by finish).
+type rangeScanner struct {
+	s    *Store
+	ts   types.Timestamp
+	view readView
+	cols []int
+	sc   *scanScratch
+	fast int64
+	slow int64
+}
+
+func newRangeScanner(s *Store, ts types.Timestamp, cols []int) rangeScanner {
+	rs := rangeScanner{
+		s:    s,
+		ts:   ts,
+		view: asOfView(ts),
+		cols: cols,
+		sc:   scanScratchPool.Get().(*scanScratch),
+	}
+	n := len(cols)
+	sc := rs.sc
+	if cap(sc.data) < n {
+		sc.data = make([][]uint64, n)
+	}
+	sc.data = sc.data[:n]
+	if cap(sc.cvs) < n {
+		sc.cvs = make([]*colVersion, n)
+	}
+	sc.cvs = sc.cvs[:n]
+	if cap(sc.out) < n {
+		sc.out = make([]uint64, n)
+	}
+	sc.out = sc.out[:n]
+	if cap(sc.vals) < n {
+		sc.vals = make([]uint64, n)
+	}
+	sc.vals = sc.vals[:n]
+	return rs
+}
+
+// finish flushes the slot gauges and returns the scratch to the pool.
+func (rs *rangeScanner) finish() {
+	if rs.fast != 0 {
+		rs.s.stats.ScanFastSlots.Add(uint64(rs.fast))
+	}
+	if rs.slow != 0 {
+		rs.s.stats.ScanSlowSlots.Add(uint64(rs.slow))
+	}
+	for i := range rs.sc.cvs {
+		rs.sc.cvs[i] = nil // do not pin page versions across pool reuse
+	}
+	scanScratchPool.Put(rs.sc)
+	rs.sc = nil
+}
+
+// scanRange streams every record of r visible as of rs.ts whose slot lies in
+// [slot0, nRows), in slot order. emit receives the slot and the slot-encoded
+// values of rs.cols (the slice is reused; copy to retain) and returns false
+// to stop the whole scan. scanRange reports whether the scan ran to
+// completion.
+func (rs *rangeScanner) scanRange(r *updateRange, slot0, nRows int, emit func(slot int, vals []uint64) bool) bool {
+	sc := rs.sc
+	mv := r.meta.Load()
+	var minTPS, maxTPS types.RID
+	sealed := mv != nil
+	if sealed {
+		minTPS, maxTPS, sealed = gatherCols(r, rs.cols, sc.cvs)
+	}
+	if !sealed {
+		return rs.scanUnsealed(r, slot0, nRows, emit)
+	}
+
+	// Sealed range: bulk-decode the column pages and the Start/Last Updated
+	// meta pages once (sequential decompression, not per-slot point access).
+	for i := range rs.cols {
+		sc.data[i] = decodeInto(sc.data[i][:0], sc.cvs[i].data)
+	}
+	sc.start = decodeInto(sc.start[:0], mv.startTime)
+	sc.last = decodeInto(sc.last[:0], mv.lastUpdated)
+	// The merged fast path for updated slots relies on Last Updated Time
+	// covering every record any requested column's TPS claims (true unless
+	// an independent column merge ran ahead of the last full merge).
+	luValid := mv.tps >= maxTPS
+	ts := rs.ts
+	vals := sc.vals
+
+	for wi := slot0 >> 6; wi<<6 < nRows; wi++ {
+		lo, hi := wi<<6, (wi+1)<<6
+		if lo < slot0 {
+			lo = slot0
+		}
+		if hi > nRows {
+			hi = nRows
+		}
+		word := r.updatedBits[wi].Load()
+		if word == 0 {
+			// 64 never-updated slots: serve straight from the decoded pages.
+			for slot := lo; slot < hi; slot++ {
+				raw := sc.start[slot]
+				if raw == types.NullSlot || raw > ts {
+					continue // absent, aborted, or inserted after ts
+				}
+				for i := range vals {
+					vals[i] = sc.data[i][slot]
+				}
+				rs.fast++
+				if !emit(slot, vals) {
+					return false
+				}
+			}
+			continue
+		}
+		for slot := lo; slot < hi; slot++ {
+			if word&(1<<uint(slot&63)) == 0 {
+				raw := sc.start[slot]
+				if raw == types.NullSlot || raw > ts {
+					continue
+				}
+				for i := range vals {
+					vals[i] = sc.data[i][slot]
+				}
+				rs.fast++
+				if !emit(slot, vals) {
+					return false
+				}
+				continue
+			}
+			// Updated record, but fully merged into every requested column
+			// and last changed at or before the snapshot: the merged page
+			// values ARE the values at ts.
+			if luValid {
+				if serve, deleted := r.mergedCurrent(ts, slot, sc.start[slot], sc.last[slot], minTPS); serve {
+					if deleted {
+						continue // deleted at or before lu <= ts
+					}
+					for i := range vals {
+						vals[i] = sc.data[i][slot]
+					}
+					rs.fast++
+					if !emit(slot, vals) {
+						return false
+					}
+					continue
+				}
+			}
+			// Unmerged lineage: the chain walk decides.
+			rs.slow++
+			res := r.readCols(rs.view, slot, rs.cols, sc.out)
+			if !res.exists {
+				continue
+			}
+			copy(vals, sc.out)
+			if !emit(slot, vals) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// scanUnsealed handles insert ranges (and the brief window while a seal
+// publishes versions): base values still live in table-level tail pages and
+// visibility may need transaction resolution, so clean slots read the pages
+// point-wise and everything unresolved falls back to the chain walk.
+func (rs *rangeScanner) scanUnsealed(r *updateRange, slot0, nRows int, emit func(slot int, vals []uint64) bool) bool {
+	sc := rs.sc
+	ts := rs.ts
+	vals := sc.vals
+	for wi := slot0 >> 6; wi<<6 < nRows; wi++ {
+		lo, hi := wi<<6, (wi+1)<<6
+		if lo < slot0 {
+			lo = slot0
+		}
+		if hi > nRows {
+			hi = nRows
+		}
+		word := r.updatedBits[wi].Load()
+		for slot := lo; slot < hi; slot++ {
+			if word&(1<<uint(slot&63)) == 0 {
+				raw := r.baseStartSlot(slot)
+				if raw == types.NullSlot {
+					continue
+				}
+				if !types.IsTxnID(raw) {
+					if raw > ts {
+						continue
+					}
+					for i, c := range rs.cols {
+						vals[i] = r.baseValue(slot, c)
+					}
+					rs.fast++
+					if !emit(slot, vals) {
+						return false
+					}
+					continue
+				}
+				// Unresolved insert: fall through to the chain walk.
+			}
+			rs.slow++
+			res := r.readCols(rs.view, slot, rs.cols, sc.out)
+			if !res.exists {
+				continue
+			}
+			copy(vals, sc.out)
+			if !emit(slot, vals) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// probeSlot: the point face
+
+// probeSlot resolves cols of one base slot as of ts without bulk decode —
+// the shape of secondary-index probes, whose scattered slots would not
+// amortize a page decompression. Classification mirrors rangeScanner:
+// never-updated slots read base pages directly, fully merged slots whose
+// lineage pre-dates the snapshot read the merged pages, everything else
+// walks the readCols chain. cvs is caller scratch (len(cols)); fast reports
+// which side served the probe.
+func (s *Store) probeSlot(ts types.Timestamp, r *updateRange, slot int, cols []int, out []uint64, cvs []*colVersion) (exists, fast bool) {
+	if r.updatedBits[slot>>6].Load()&(1<<uint(slot&63)) == 0 {
+		raw := r.baseStartSlot(slot)
+		if raw == types.NullSlot {
+			return false, true // aborted insert or never-written slot
+		}
+		if !types.IsTxnID(raw) {
+			if raw > ts {
+				return false, true
+			}
+			for i, c := range cols {
+				out[i] = r.baseValue(slot, c)
+			}
+			return true, true
+		}
+		// Unresolved insert: chain walk below.
+	} else if mv := r.meta.Load(); mv != nil {
+		if minTPS, maxTPS, sealed := gatherCols(r, cols, cvs); sealed && mv.tps >= maxTPS {
+			serve, deleted := r.mergedCurrent(ts, slot, mv.startTime.Get(slot), mv.lastUpdated.Get(slot), minTPS)
+			if serve {
+				if deleted {
+					return false, true
+				}
+				for i := range cols {
+					out[i] = cvs[i].data.Get(slot)
+				}
+				return true, true
+			}
+		}
+	}
+	res := r.readCols(asOfView(ts), slot, cols, out)
+	return res.exists, false
+}
+
+// ---------------------------------------------------------------------------
+// Scan planning and the worker pool
+
+// scanTarget is one range's slice of a RID-bounded scan: slots
+// [slot0, nRows) of r intersect the requested RID window.
+type scanTarget struct {
+	r     *updateRange
+	slot0 int
+	nRows int
+}
+
+// scanTargets clamps [loRID, hiRID) onto the table's ranges, computing each
+// intersecting range's slot window up front instead of testing every slot's
+// RID inside the hot loop.
+func (s *Store) scanTargets(loRID, hiRID types.RID) []scanTarget {
+	nRanges := s.rangeCount()
+	targets := make([]scanTarget, 0, nRanges)
+	for ri := 0; ri < nRanges; ri++ {
+		r := s.rangeAt(ri)
+		if r.firstRID+types.RID(r.n) <= loRID || r.firstRID >= hiRID {
+			continue
+		}
+		nRows := r.rowCount()
+		if hiRID < r.firstRID+types.RID(nRows) {
+			nRows = int(hiRID - r.firstRID)
+		}
+		slot0 := 0
+		if loRID > r.firstRID {
+			slot0 = int(loRID - r.firstRID)
+		}
+		if slot0 >= nRows {
+			continue
+		}
+		targets = append(targets, scanTarget{r: r, slot0: slot0, nRows: nRows})
+	}
+	return targets
+}
+
+// scanWorkersFor bounds the per-scan pool: never more workers than the
+// configured pool or than ranges to scan.
+func (s *Store) scanWorkersFor(nTargets int) int {
+	w := s.cfg.ScanWorkers
+	if w > nTargets {
+		w = nTargets
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ---------------------------------------------------------------------------
+// Public scans (analytical reads, snapshot isolation)
+
+// ScanSum computes SUM(col) over live records as of ts — the benchmark scan
+// of §6.1 ("SUM aggregation on a column that is continuously updated").
+// It returns the sum and the number of contributing records.
+func (s *Store) ScanSum(ts types.Timestamp, col int) (sum int64, rows int64) {
+	return s.ScanSumRIDs(ts, col, 0, ^types.RID(0))
+}
+
+// ScanSumRIDs is ScanSum over base RIDs in [loRID, hiRID) — the harness's
+// "scan 10% of the table" shape. Ranges fan out across the scan worker pool
+// when Config.ScanWorkers allows; per-worker partial aggregates are merged
+// after the pool drains (exact integer addition, so the result is identical
+// for every schedule).
+func (s *Store) ScanSumRIDs(ts types.Timestamp, col int, loRID, hiRID types.RID) (sum int64, rows int64) {
+	g := s.em.Pin()
+	defer g.Unpin()
+	targets := s.scanTargets(loRID, hiRID)
+	cols := []int{col}
+	if workers := s.scanWorkersFor(len(targets)); workers > 1 {
+		sum, rows = s.parallelSum(targets, ts, cols, workers)
+	} else {
+		rs := newRangeScanner(s, ts, cols)
+		for _, t := range targets {
+			rs.scanRange(t.r, t.slot0, t.nRows, func(_ int, vals []uint64) bool {
+				if v := vals[0]; v != types.NullSlot {
+					sum += types.DecodeInt64(v)
+					rows++
+				}
+				return true
+			})
+		}
+		rs.finish()
+	}
+	s.stats.Scans.Add(1)
+	return sum, rows
+}
+
+// parallelSum fans targets out across workers. Each worker owns a scanner
+// (its own pooled scratch) and a partial aggregate; partials merge in worker
+// order once the pool drains. The caller's epoch pin covers every worker.
+func (s *Store) parallelSum(targets []scanTarget, ts types.Timestamp, cols []int, workers int) (int64, int64) {
+	var next atomic.Int64
+	sums := make([]int64, workers)
+	counts := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rs := newRangeScanner(s, ts, cols)
+			var sum, rows int64
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(targets) {
+					break
+				}
+				t := targets[i]
+				rs.scanRange(t.r, t.slot0, t.nRows, func(_ int, vals []uint64) bool {
+					if v := vals[0]; v != types.NullSlot {
+						sum += types.DecodeInt64(v)
+						rows++
+					}
+					return true
+				})
+			}
+			sums[w], counts[w] = sum, rows
+			rs.finish()
+		}(w)
+	}
+	wg.Wait()
+	var sum, rows int64
+	for w := 0; w < workers; w++ {
+		sum += sums[w]
+		rows += counts[w]
+	}
+	return sum, rows
+}
+
+// ScanRange applies fn to the requested columns of every live record (as of
+// ts) whose base RID falls in [loRID, hiRID), in RID order; fn returning
+// false stops the scan. Pass 0,^0 for a full scan. With ScanWorkers > 1
+// ranges are scanned concurrently but fn still runs only on the calling
+// goroutine and observes exactly the sequential row order.
+func (s *Store) ScanRange(ts types.Timestamp, cols []int, loRID, hiRID types.RID, fn func(key int64, vals []types.Value) bool) {
+	g := s.em.Pin()
+	defer g.Unpin()
+	readCols := make([]int, 0, len(cols)+1)
+	readCols = append(readCols, cols...)
+	readCols = append(readCols, s.schema.Key)
+	targets := s.scanTargets(loRID, hiRID)
+	vals := make([]types.Value, len(cols))
+	if workers := s.scanWorkersFor(len(targets)); workers > 1 {
+		s.parallelRange(targets, ts, readCols, cols, vals, fn, workers)
+	} else {
+		rs := newRangeScanner(s, ts, readCols)
+		for _, t := range targets {
+			if !rs.scanRange(t.r, t.slot0, t.nRows, func(_ int, out []uint64) bool {
+				for i, c := range cols {
+					vals[i] = s.decodeValue(c, out[i])
+				}
+				return fn(types.DecodeInt64(out[len(out)-1]), vals)
+			}) {
+				break
+			}
+		}
+		rs.finish()
+	}
+	s.stats.Scans.Add(1)
+}
+
+// parallelRange scans targets concurrently while preserving sequential
+// delivery: workers stage each range's visible rows in a pooled flat buffer
+// and the caller's goroutine drains the batches in range order, so fn is
+// never called concurrently and sees rows exactly as a sequential scan
+// would. Workers acquire a semaphore slot BEFORE claiming a range index, so
+// the lowest outstanding range always holds a slot and the in-order drain
+// cannot deadlock; at most `workers` staged batches exist at once. A false
+// return from fn raises the stop flag — in-flight workers then publish
+// empty batches and the drain completes cheaply.
+func (s *Store) parallelRange(targets []scanTarget, ts types.Timestamp, readCols, cols []int, vals []types.Value, fn func(int64, []types.Value) bool, workers int) {
+	stride := len(readCols)
+	batches := make([]chan *rowBatch, len(targets))
+	for i := range batches {
+		batches[i] = make(chan *rowBatch, 1)
+	}
+	sem := make(chan struct{}, workers)
+	var next atomic.Int64
+	var stopped atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rs := newRangeScanner(s, ts, readCols)
+			for {
+				sem <- struct{}{}
+				i := int(next.Add(1)) - 1
+				if i >= len(targets) {
+					<-sem
+					break
+				}
+				b := rowBatchPool.Get().(*rowBatch)
+				b.rows = b.rows[:0]
+				if !stopped.Load() {
+					t := targets[i]
+					rs.scanRange(t.r, t.slot0, t.nRows, func(_ int, out []uint64) bool {
+						b.rows = append(b.rows, out...)
+						return !stopped.Load()
+					})
+				}
+				batches[i] <- b
+			}
+			rs.finish()
+		}()
+	}
+	for i := range targets {
+		b := <-batches[i]
+		<-sem
+		rows := b.rows
+		for off := 0; off+stride <= len(rows) && !stopped.Load(); off += stride {
+			out := rows[off : off+stride]
+			for j, c := range cols {
+				vals[j] = s.decodeValue(c, out[j])
+			}
+			if !fn(types.DecodeInt64(out[stride-1]), vals) {
+				stopped.Store(true)
+			}
+		}
+		b.rows = rows[:0]
+		rowBatchPool.Put(b)
+	}
+	wg.Wait()
+}
+
+// LookupSecondary returns the keys of live records whose column col
+// currently has value v (snapshot at ts), re-evaluating the predicate
+// against the visible version as §3.1 requires for possibly-stale entries.
+// Probes ride the scan engine's point face: never-updated and fully merged
+// records resolve against base pages without a chain walk.
+func (s *Store) LookupSecondary(ts types.Timestamp, col int, v types.Value) ([]int64, error) {
+	sec, ok := s.secondary[col]
+	if !ok {
+		return nil, fmt.Errorf("core: no secondary index on column %d", col)
+	}
+	sv, err := s.encodeValue(col, v)
+	if err != nil {
+		return nil, err
+	}
+	g := s.em.Pin()
+	defer g.Unpin()
+	sc := scanScratchPool.Get().(*scanScratch)
+	sc.rids = sec.LookupAppend(sc.rids[:0], sv)
+	readCols := [2]int{col, s.schema.Key}
+	var cvs [2]*colVersion
+	var out [2]uint64
+	var keys []int64
+	var fast, slow int64
+	for _, rid := range sc.rids {
+		loc, ok := s.locate(rid)
+		if !ok {
+			continue
+		}
+		exists, served := s.probeSlot(ts, loc.rng, loc.slot, readCols[:], out[:], cvs[:])
+		if served {
+			fast++
+		} else {
+			slow++
+		}
+		if exists && out[0] == sv { // predicate re-check
+			keys = append(keys, types.DecodeInt64(out[1]))
+		}
+	}
+	if fast != 0 {
+		s.stats.ScanFastSlots.Add(uint64(fast))
+	}
+	if slow != 0 {
+		s.stats.ScanSlowSlots.Add(uint64(slow))
+	}
+	scanScratchPool.Put(sc)
+	return keys, nil
+}
+
+// decodeInto appends the decoded slots of p to buf (bulk decompression for
+// the scan fast path); encodings with a native bulk path use it.
+func decodeInto(buf []uint64, p page.Reader) []uint64 {
+	if bd, ok := p.(page.BulkDecoder); ok {
+		return bd.AppendTo(buf)
+	}
+	n := p.Len()
+	if cap(buf)-len(buf) < n {
+		grown := make([]uint64, len(buf), len(buf)+n)
+		copy(grown, buf)
+		buf = grown
+	}
+	for i := 0; i < n; i++ {
+		buf = append(buf, p.Get(i))
+	}
+	return buf
+}

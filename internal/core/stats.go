@@ -10,6 +10,8 @@ type Stats struct {
 	Deletes           atomic.Uint64
 	PointReads        atomic.Uint64
 	Scans             atomic.Uint64
+	ScanFastSlots     atomic.Uint64
+	ScanSlowSlots     atomic.Uint64
 	WWConflicts       atomic.Uint64
 	TailRecords       atomic.Uint64
 	Merges            atomic.Uint64
@@ -26,12 +28,18 @@ type Stats struct {
 // number of appended tail records not yet consumed by every column's merge
 // across all ranges — the distance between writers and the merge scheduler —
 // and MergeQueueDepth is how many ranges currently wait in the merge queue.
+// ScanFastSlots/ScanSlowSlots split scanned slots between the scan engine's
+// decoded-page fast path and the readCols chain-walk fallback (their ratio
+// is the scan-side health of the merge: a growing slow share means lineage
+// is outrunning consolidation). ScanWorkers is the configured scan pool.
 type StatsSnapshot struct {
 	Inserts           uint64
 	Updates           uint64
 	Deletes           uint64
 	PointReads        uint64
 	Scans             uint64
+	ScanFastSlots     uint64
+	ScanSlowSlots     uint64
 	WWConflicts       uint64
 	TailRecords       uint64
 	Merges            uint64
@@ -45,6 +53,7 @@ type StatsSnapshot struct {
 	MergeBacklog    int64
 	MergeQueueDepth int
 	MergeWorkers    int
+	ScanWorkers     int
 }
 
 // Stats returns a snapshot of the engine counters and merge-lag gauges.
@@ -55,6 +64,8 @@ func (s *Store) Stats() StatsSnapshot {
 		Deletes:           s.stats.Deletes.Load(),
 		PointReads:        s.stats.PointReads.Load(),
 		Scans:             s.stats.Scans.Load(),
+		ScanFastSlots:     s.stats.ScanFastSlots.Load(),
+		ScanSlowSlots:     s.stats.ScanSlowSlots.Load(),
 		WWConflicts:       s.stats.WWConflicts.Load(),
 		TailRecords:       s.stats.TailRecords.Load(),
 		Merges:            s.stats.Merges.Load(),
@@ -65,6 +76,7 @@ func (s *Store) Stats() StatsSnapshot {
 		HistoryPasses:     s.stats.HistoryPasses.Load(),
 		HistoryRecords:    s.stats.HistoryRecords.Load(),
 		MergeQueueDepth:   len(s.mergeQ),
+		ScanWorkers:       s.cfg.ScanWorkers,
 	}
 	if s.cfg.AutoMerge {
 		snap.MergeWorkers = s.cfg.MergeWorkers // 0 when no pool is running

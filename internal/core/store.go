@@ -7,7 +7,6 @@ import (
 
 	"lstore/internal/epoch"
 	"lstore/internal/index"
-	"lstore/internal/page"
 	"lstore/internal/pagedir"
 	"lstore/internal/rid"
 	"lstore/internal/txn"
@@ -173,38 +172,54 @@ func (s *Store) Insert(t *txn.Txn, vals []types.Value) error {
 	}
 	keySlot := slots[s.schema.Key]
 
-	// Reserve a base RID (and its aligned table-level tail slot).
+	// Reserve a base RID (and its aligned table-level tail slot). The
+	// reservation is announced through ib.pending BEFORE the take, so a
+	// sealer that observes the block full also observes the reservation and
+	// defers; all writes below go to the block the slot was taken from (the
+	// range's insertBlock pointer may be nil'd by a later seal).
 	var r *updateRange
+	var ib *tailBlock
 	var slot int
 	for {
 		r = s.curInsert.Load()
-		ib := r.insertBlock.Load()
+		ib = r.insertBlock.Load()
 		if ib != nil {
-			if _, sl, ok := ib.take(); ok {
+			ib.pending.Add(1)
+			if ib.sealing.Load() {
+				ib.pending.Add(-1) // a partial-block seal is quiescing takes
+			} else if _, sl, ok := ib.take(); ok {
 				slot = sl
 				break
+			} else {
+				ib.pending.Add(-1)
 			}
 		}
-		// Range full: roll over to a fresh insert range (§3.2: "if insert
-		// range is full, then a new insert range is created").
+		// Range full (or being force-sealed): roll over to a fresh insert
+		// range (§3.2: "if insert range is full, then a new insert range is
+		// created").
 		s.insertMu.Lock()
 		if s.curInsert.Load() == r {
 			if _, err := s.addInsertRange(); err != nil {
 				s.insertMu.Unlock()
 				return err
 			}
-			s.maybeEnqueueMerge(r)
 		}
 		s.insertMu.Unlock()
+		// Re-kick unconditionally: a seal of r may have deferred on this
+		// goroutine's transient reservation, and the deferring worker will
+		// not retry on its own.
+		s.maybeEnqueueMerge(r)
 	}
 	baseRID := r.firstRID + types.RID(slot)
-	ib := r.insertBlock.Load()
 
 	// Uniqueness (indexes reference base RIDs only, §3.1).
 	if winner, installed := s.primary.PutIfAbsent(keySlot, baseRID); !installed {
 		if err := s.resolveKeyConflict(t, keySlot, winner, baseRID); err != nil {
 			// Neutralize the reserved slot: it stays invisible forever.
 			ib.startTime.Store(slot, types.NullSlot)
+			ib.pending.Add(-1)
+			// A deferred seal may be waiting on this reservation.
+			s.maybeEnqueueMerge(r)
 			return err
 		}
 	}
@@ -219,6 +234,7 @@ func (s *Store) Insert(t *txn.Txn, vals []types.Value) error {
 	ib.indirection.Store(slot, uint64(baseRID))
 	t.NoteWrite()
 	ib.startTime.Store(slot, t.ID)
+	ib.pending.Add(-1)
 	// The base record's Indirection column starts at ⊥ (zero value already).
 
 	for c, sec := range s.secondary {
@@ -625,211 +641,9 @@ func (s *Store) GetAt(ts types.Timestamp, key int64, cols []int) ([]types.Value,
 	return vals, true, nil
 }
 
-// LookupSecondary returns the keys of live records whose column col
-// currently has value v (snapshot at ts), re-evaluating the predicate
-// against the visible version as §3.1 requires for possibly-stale entries.
-func (s *Store) LookupSecondary(ts types.Timestamp, col int, v types.Value) ([]int64, error) {
-	sec, ok := s.secondary[col]
-	if !ok {
-		return nil, fmt.Errorf("core: no secondary index on column %d", col)
-	}
-	sv, err := s.encodeValue(col, v)
-	if err != nil {
-		return nil, err
-	}
-	g := s.em.Pin()
-	defer g.Unpin()
-	var keys []int64
-	out := make([]uint64, 2)
-	readCols := []int{col, s.schema.Key}
-	for _, rid := range sec.Lookup(sv) {
-		loc, ok := s.locate(rid)
-		if !ok {
-			continue
-		}
-		res := loc.rng.readCols(asOfView(ts), loc.slot, readCols, out)
-		if res.exists && out[0] == sv { // predicate re-check
-			keys = append(keys, types.DecodeInt64(out[1]))
-		}
-	}
-	return keys, nil
-}
-
-// ---------------------------------------------------------------------------
-// Scans (analytical reads, snapshot isolation)
-
-// ScanSum computes SUM(col) over live records as of ts — the benchmark scan
-// of §6.1 ("SUM aggregation on a column that is continuously updated").
-// It returns the sum and the number of contributing records.
-//
-// Sealed ranges take the columnar fast path: the compressed column page and
-// the Start Time meta page are decoded once per range into scratch buffers
-// (one sequential decompression instead of per-slot point access), and only
-// records with update lineage fall back to the chain walk.
-func (s *Store) ScanSum(ts types.Timestamp, col int) (sum int64, rows int64) {
-	return s.ScanSumRIDs(ts, col, 0, ^types.RID(0))
-}
-
-// ScanSumRIDs is ScanSum over base RIDs in [loRID, hiRID) — the harness's
-// "scan 10% of the table" shape, on the same columnar fast path.
-func (s *Store) ScanSumRIDs(ts types.Timestamp, col int, loRID, hiRID types.RID) (sum int64, rows int64) {
-	g := s.em.Pin()
-	defer g.Unpin()
-	view := asOfView(ts)
-	out := make([]uint64, 1)
-	cols := []int{col}
-	var dataBuf, startBuf, lastBuf []uint64
-	nRanges := s.rangeCount()
-	for ri := 0; ri < nRanges; ri++ {
-		r := s.rangeAt(ri)
-		if r.firstRID+types.RID(r.n) <= loRID || r.firstRID >= hiRID {
-			continue
-		}
-		cv := r.colVer(col)
-		mv := r.meta.Load()
-		nRows := r.rowCount()
-		if hiRID < r.firstRID+types.RID(nRows) {
-			nRows = int(hiRID - r.firstRID)
-		}
-		slot0 := 0
-		if loRID > r.firstRID {
-			slot0 = int(loRID - r.firstRID)
-		}
-		if cv != nil && mv != nil {
-			// Sealed range: bulk-decode the pages once.
-			dataBuf = decodeInto(dataBuf[:0], cv.data)
-			startBuf = decodeInto(startBuf[:0], mv.startTime)
-			lastBuf = decodeInto(lastBuf[:0], mv.lastUpdated)
-			// The merged fast path below relies on Last Updated Time
-			// covering every record the column's TPS claims (true unless an
-			// independent column merge ran ahead of the last full merge).
-			luValid := mv.tps >= cv.tps
-			for slot := slot0; slot < nRows; slot++ {
-				raw := startBuf[slot]
-				if r.everUpdated[slot].Load() == 0 {
-					if raw == types.NullSlot || raw > ts {
-						continue // absent, aborted, or inserted after ts
-					}
-					if v := dataBuf[slot]; v != types.NullSlot {
-						sum += types.DecodeInt64(v)
-						rows++
-					}
-					continue
-				}
-				// Updated record, but fully merged and last changed before
-				// the snapshot: the merged page value IS the value at ts
-				// (§4.2's TPS interpretation + the Last Updated Time
-				// column's purpose).
-				if luValid && raw != types.NullSlot && raw <= ts {
-					if ind := r.loadIndirection(slot); ind != 0 && ind <= cv.tps {
-						lu := lastBuf[slot]
-						if lu != types.NullSlot && lu <= ts {
-							if r.isMergedDeleted(slot) {
-								continue // deleted at or before lu <= ts
-							}
-							if v := dataBuf[slot]; v != types.NullSlot {
-								sum += types.DecodeInt64(v)
-								rows++
-							}
-							continue
-						}
-					}
-				}
-				res := r.readCols(view, slot, cols, out)
-				if res.exists && out[0] != types.NullSlot {
-					sum += types.DecodeInt64(out[0])
-					rows++
-				}
-			}
-			continue
-		}
-		// Unsealed insert range: per-slot path (values in table-level tail
-		// pages, visibility may need txn resolution).
-		for slot := slot0; slot < nRows; slot++ {
-			if r.everUpdated[slot].Load() == 0 {
-				raw := r.baseStartSlot(slot)
-				if raw == types.NullSlot {
-					continue
-				}
-				if !types.IsTxnID(raw) {
-					if raw > ts {
-						continue
-					}
-					if v := r.baseValue(slot, col); v != types.NullSlot {
-						sum += types.DecodeInt64(v)
-						rows++
-					}
-					continue
-				}
-				// Unresolved insert: fall through to the slow path.
-			}
-			res := r.readCols(view, slot, cols, out)
-			if res.exists && out[0] != types.NullSlot {
-				sum += types.DecodeInt64(out[0])
-				rows++
-			}
-		}
-	}
-	s.stats.Scans.Add(1)
-	return sum, rows
-}
-
-// decodeInto appends the decoded slots of p to buf (bulk decompression for
-// the scan fast path); encodings with a native bulk path use it.
-func decodeInto(buf []uint64, p page.Reader) []uint64 {
-	if bd, ok := p.(page.BulkDecoder); ok {
-		return bd.AppendTo(buf)
-	}
-	n := p.Len()
-	if cap(buf)-len(buf) < n {
-		grown := make([]uint64, len(buf), len(buf)+n)
-		copy(grown, buf)
-		buf = grown
-	}
-	for i := 0; i < n; i++ {
-		buf = append(buf, p.Get(i))
-	}
-	return buf
-}
-
-// ScanRange applies fn to the requested columns of every live record (as of
-// ts) whose base RID falls in [loRID, hiRID); fn returning false stops the
-// scan. Used by analytical examples; pass 0,^0 for a full scan.
-func (s *Store) ScanRange(ts types.Timestamp, cols []int, loRID, hiRID types.RID, fn func(key int64, vals []types.Value) bool) {
-	g := s.em.Pin()
-	defer g.Unpin()
-	view := asOfView(ts)
-	readCols := make([]int, 0, len(cols)+1)
-	readCols = append(readCols, cols...)
-	readCols = append(readCols, s.schema.Key)
-	out := make([]uint64, len(readCols))
-	vals := make([]types.Value, len(cols))
-	nRanges := s.rangeCount()
-	for ri := 0; ri < nRanges; ri++ {
-		r := s.rangeAt(ri)
-		if r.firstRID+types.RID(r.n) <= loRID || r.firstRID >= hiRID {
-			continue
-		}
-		nRows := r.rowCount()
-		for slot := 0; slot < nRows; slot++ {
-			rid := r.firstRID + types.RID(slot)
-			if rid < loRID || rid >= hiRID {
-				continue
-			}
-			res := r.readCols(view, slot, readCols, out)
-			if !res.exists {
-				continue
-			}
-			for i, c := range cols {
-				vals[i] = s.decodeValue(c, out[i])
-			}
-			if !fn(types.DecodeInt64(out[len(out)-1]), vals) {
-				return
-			}
-		}
-	}
-	s.stats.Scans.Add(1)
-}
+// Scans and secondary-index lookups live in scan.go: ScanSum, ScanSumRIDs,
+// ScanRange, and LookupSecondary all delegate to the shared columnar scan
+// engine (rangeScanner / probeSlot) rather than carrying inline fast paths.
 
 // NumRecords returns the number of base record slots allocated (including
 // deleted and aborted ones; introspection).

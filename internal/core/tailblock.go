@@ -20,6 +20,19 @@ import (
 type tailBlock struct {
 	rids *rid.Block
 
+	// pending counts reserved-but-unpublished insert slots (incremented
+	// BEFORE the RID take, decremented after the Start Time publish or the
+	// neutralizing store). A reserved slot reads ∅ exactly like a
+	// neutralized one, so sealing consults this counter to tell "insert in
+	// flight" from "aborted forever": a seal must defer while pending > 0
+	// or it would discard the in-flight record. sealing fences NEW
+	// reservations for partial-block seals (ForceSeal): inserters announce
+	// via pending, then check sealing, then take — so a sealer that set
+	// sealing and observed pending == 0 knows no take can succeed anymore.
+	// Only meaningful for table-level (insert-range) tail blocks.
+	pending atomic.Int64
+	sealing atomic.Bool
+
 	// Meta tail pages (always present).
 	indirection *page.TailPage // back pointer to previous version
 	schemaEnc   *page.TailPage // changed-columns bitmap + flags

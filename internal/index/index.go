@@ -158,16 +158,22 @@ func (s *Secondary) Add(value uint64, rid types.RID) {
 	st.m[value] = append(st.m[value], rid)
 }
 
+// LookupAppend appends the base RIDs whose (possibly stale) entry matches
+// value to dst and returns the extended slice. The copy happens under the
+// stripe read lock, so callers may retain and reuse dst freely — hot probe
+// loops pass a recycled buffer and allocate nothing per probe.
+func (s *Secondary) LookupAppend(dst []types.RID, value uint64) []types.RID {
+	st := s.stripe(value)
+	st.mu.RLock()
+	dst = append(dst, st.m[value]...)
+	st.mu.RUnlock()
+	return dst
+}
+
 // Lookup returns a copy of the base RIDs whose (possibly stale) entry
 // matches value.
 func (s *Secondary) Lookup(value uint64) []types.RID {
-	st := s.stripe(value)
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	rids := st.m[value]
-	out := make([]types.RID, len(rids))
-	copy(out, rids)
-	return out
+	return s.LookupAppend(make([]types.RID, 0, 4), value)
 }
 
 // Remove deletes the exact (value, rid) pair; used by the deferred cleanup

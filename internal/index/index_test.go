@@ -164,3 +164,32 @@ func TestSecondaryConcurrent(t *testing.T) {
 		t.Fatalf("Entries = %d, want %d", s.Entries(), 8*200)
 	}
 }
+
+func TestSecondaryLookupAppendReusesBuffer(t *testing.T) {
+	s := NewSecondary()
+	s.Add(1, 10)
+	s.Add(1, 11)
+	s.Add(2, 20)
+
+	buf := make([]types.RID, 0, 8)
+	got := s.LookupAppend(buf, 1)
+	if len(got) != 2 || got[0] != 10 || got[1] != 11 {
+		t.Fatalf("LookupAppend(1) = %v", got)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("LookupAppend did not reuse the caller's buffer")
+	}
+	// Recycled probe loop: truncate and reuse, no per-probe allocation.
+	got = s.LookupAppend(got[:0], 2)
+	if len(got) != 1 || got[0] != 20 {
+		t.Fatalf("LookupAppend(2) = %v", got)
+	}
+	if got = s.LookupAppend(got[:0], 99); len(got) != 0 {
+		t.Fatalf("LookupAppend(miss) = %v", got)
+	}
+	// Appending onto existing content preserves the prefix.
+	got = s.LookupAppend([]types.RID{7}, 1)
+	if len(got) != 3 || got[0] != 7 {
+		t.Fatalf("LookupAppend with prefix = %v", got)
+	}
+}

@@ -132,6 +132,12 @@ type TableOptions struct {
 	// MergeWorkers sizes the background merge-scheduler pool (distinct
 	// ranges merge concurrently; default GOMAXPROCS, capped at 8).
 	MergeWorkers int
+	// ScanWorkers sizes the analytical-scan worker pool: Sum and Scan fan
+	// independent update ranges out across up to this many goroutines while
+	// keeping results deterministic (Scan callbacks still run on the caller
+	// goroutine, in sequential row order). 1 disables parallel scans;
+	// default GOMAXPROCS, capped at 8.
+	ScanWorkers int
 	// SecondaryIndexes lists column names to maintain secondary indexes on.
 	SecondaryIndexes []string
 	// DisableAutoMerge turns off the background merge thread; merges then

@@ -167,7 +167,9 @@ func (tb *Table) makeRow(idx []int, vals []Value) Row {
 }
 
 // Sum computes SUM(col) over live records as of ts (snapshot semantics);
-// rows is the number of contributing records.
+// rows is the number of contributing records. The scan rides the shared
+// columnar scan engine: sealed ranges are bulk-decoded once and fanned out
+// across the table's scan worker pool (TableOptions.ScanWorkers).
 func (tb *Table) Sum(ts Timestamp, col string) (sum int64, rows int64, err error) {
 	ci := tb.schema.ColIndex(col)
 	if ci < 0 {
@@ -180,7 +182,10 @@ func (tb *Table) Sum(ts Timestamp, col string) (sum int64, rows int64, err error
 	return s, r, nil
 }
 
-// Scan applies fn to every live record as of ts; fn returning false stops.
+// Scan applies fn to every live record as of ts, in primary-RID order; fn
+// returning false stops. With ScanWorkers > 1 ranges are scanned
+// concurrently, but fn always runs on the calling goroutine and observes
+// exactly the sequential row order.
 func (tb *Table) Scan(ts Timestamp, cols []string, fn func(key int64, row Row) bool) error {
 	idx, err := tb.colIndexes(cols)
 	if err != nil {
