@@ -120,16 +120,20 @@ func main() {
 	}
 
 	// Real-time analytics: revenue and engagement over the LATEST data,
-	// running concurrently with the auctions (no drain, no ETL).
+	// running concurrently with the auctions (no drain, no ETL). One Query
+	// computes every aggregate in a single engine pass.
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		for i := 0; i < 5; i++ {
 			ts := db.Now()
-			spend, shoppersSeen, _ := shoppers.Sum(ts, "spend")
-			visits, _, _ := shoppers.Sum(ts, "visits")
+			res, err := shoppers.Query().At(ts).
+				Aggregate(lstore.Sum("spend"), lstore.Sum("visits"), lstore.Count())
+			if err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("[analytics] snapshot=%d shoppers=%d visits=%d revenue=%d¢\n",
-				ts, shoppersSeen, visits, spend)
+				ts, res.Rows(2), res.Int(1), res.Int(0))
 		}
 	}()
 
@@ -137,18 +141,21 @@ func main() {
 	<-done
 
 	// Final, exact reconciliation: revenue booked on shoppers equals the
-	// sum of won bids — one engine, one copy of the truth.
+	// sum of won bids — one engine, one copy of the truth. The won=1 filter
+	// is pushed down into the columnar scan instead of running per-row in a
+	// callback.
 	ts := db.Now()
-	revenue, _, _ := shoppers.Sum(ts, "spend")
-	var wonRevenue int64
-	if err := bids.Scan(ts, []string{"price", "won"}, func(_ int64, row lstore.Row) bool {
-		if row["won"].Int() == 1 {
-			wonRevenue += row["price"].Int()
-		}
-		return true
-	}); err != nil {
+	revAgg, err := shoppers.Query().At(ts).Aggregate(lstore.Sum("spend"))
+	if err != nil {
 		log.Fatal(err)
 	}
+	revenue := revAgg.Int(0)
+	wonAgg, err := bids.Query().Where(lstore.Eq("won", lstore.Int(1))).At(ts).
+		Aggregate(lstore.Sum("price"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	wonRevenue := wonAgg.Int(0)
 	fmt.Printf("conversions=%d conflicts=%d\n", conversions.Load(), conflicts.Load())
 	fmt.Printf("revenue on shopper profiles: %d¢; revenue from won bids: %d¢\n", revenue, wonRevenue)
 	if revenue != wonRevenue {
@@ -156,7 +163,21 @@ func main() {
 	}
 	fmt.Println("books balance ✓")
 
-	// Zone targeting via the secondary index.
-	zone3, _ := shoppers.FindBy(ts, "zone", lstore.Int(3))
-	fmt.Printf("shoppers currently in zone 3: %d\n", len(zone3))
+	// Zone targeting: the equality predicate on the indexed zone column
+	// plans as secondary-index point-probes; the spend floor rides along as
+	// a pushed-down re-check. The RowView cursor streams matches without
+	// materializing row maps.
+	var zone3 int
+	var zoneSpend int64
+	err = shoppers.Query().Select("spend").
+		Where(lstore.Eq("zone", lstore.Int(3)), lstore.Ge("spend", lstore.Int(0))).At(ts).
+		Rows(func(r *lstore.RowView) bool {
+			zone3++
+			zoneSpend += r.Int("spend")
+			return true
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shoppers currently in zone 3: %d (lifetime spend %d¢)\n", zone3, zoneSpend)
 }

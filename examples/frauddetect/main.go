@@ -146,33 +146,49 @@ func main() {
 		}(int64(term) + 99)
 	}
 
-	// Risk dashboard: long-running analytical scans against live snapshots
-	// while authorizations stream in.
+	// Risk dashboard: long-running analytical queries against live
+	// snapshots while authorizations stream in. One Query folds exposure,
+	// peak spend and the count of currently-blocked cards in a single
+	// engine pass; the velocity watchlist pushes its filter into the
+	// columnar scan instead of materializing every card.
 	dash := make(chan struct{})
 	go func() {
 		defer close(dash)
 		for i := 0; i < 5; i++ {
 			ts := db.Now()
-			exposure, nApproved, _ := cards.Sum(ts, "recent_spend")
-			fmt.Printf("[dashboard] snapshot=%d cards=%d exposure=%d¢\n", ts, nApproved, exposure)
+			res, err := cards.Query().At(ts).
+				Aggregate(lstore.Sum("recent_spend"), lstore.Count(), lstore.Max("recent_spend"))
+			if err != nil {
+				log.Fatal(err)
+			}
+			watchlist, err := cards.Query().
+				Where(lstore.Ge("recent_count", lstore.Int(velocityLimit-2))).At(ts).
+				Count()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("[dashboard] snapshot=%d cards=%d exposure=%d¢ peak=%d¢ near-limit=%d\n",
+				ts, res.Rows(1), res.Int(0), res.Int(2), watchlist)
 		}
 	}()
 
 	wg.Wait()
 	<-dash
 
-	// Reconcile: card exposure equals approved ledger volume.
+	// Reconcile: card exposure equals approved ledger volume. The
+	// approved=1 filter is pushed down into the ledger scan.
 	ts := db.Now()
-	exposure, _, _ := cards.Sum(ts, "recent_spend")
-	var ledgerApproved int64
-	if err := ledger.Scan(ts, []string{"amount", "approved"}, func(_ int64, row lstore.Row) bool {
-		if row["approved"].Int() == 1 {
-			ledgerApproved += row["amount"].Int()
-		}
-		return true
-	}); err != nil {
+	expAgg, err := cards.Query().At(ts).Aggregate(lstore.Sum("recent_spend"))
+	if err != nil {
 		log.Fatal(err)
 	}
+	exposure := expAgg.Int(0)
+	appAgg, err := ledger.Query().Where(lstore.Eq("approved", lstore.Int(1))).At(ts).
+		Aggregate(lstore.Sum("amount"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ledgerApproved := appAgg.Int(0)
 	fmt.Printf("approved=%d declined=%d cards blocked=%d\n",
 		approved.Load(), declined.Load(), blockedCards.Load())
 	fmt.Printf("card exposure %d¢ vs approved ledger volume %d¢\n", exposure, ledgerApproved)
@@ -180,4 +196,17 @@ func main() {
 		log.Fatalf("EXPOSURE MISMATCH: %d != %d", exposure, ledgerApproved)
 	}
 	fmt.Println("exposure reconciles ✓ (analytics ran on the latest data, in-line)")
+
+	// Post-mortem over the blocked cards: stream their final profiles
+	// through the zero-alloc cursor.
+	err = cards.Query().Select("recent_count", "recent_spend").
+		Where(lstore.Eq("blocked", lstore.Int(1))).At(ts).
+		Rows(func(r *lstore.RowView) bool {
+			fmt.Printf("  blocked card %d: %d approvals, %d¢ in window\n",
+				r.Key(), r.Int("recent_count"), r.Int("recent_spend"))
+			return true
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
 }

@@ -63,10 +63,13 @@ func main() {
 	report := func(label string) {
 		fmt.Printf("--- %s ---\n", label)
 		for round, ts := range snapshots {
-			sum, rows, _ := sensors.Sum(ts, "temp")
+			res, err := sensors.Query().At(ts).Aggregate(lstore.Sum("temp"), lstore.Count())
+			if err != nil {
+				log.Fatal(err)
+			}
 			row, _, _ := sensors.GetAt(ts, 0, "temp", "rev")
 			fmt.Printf("snapshot %d: sensors=%d total-temp=%d sensor0={temp:%d rev:%d}\n",
-				round, rows, sum, row["temp"].Int(), row["rev"].Int())
+				round, res.Rows(1), res.Int(0), row["temp"].Int(), row["rev"].Int())
 		}
 	}
 

@@ -373,10 +373,13 @@ var Experiments = map[string]func(Options) error{
 	"fig10d": func(o Options) error { return Fig10(o, workload.Medium) },
 	"table8": Table8,
 	"table9": Table9,
+	"query":  QueryExp,
 }
 
-// ExperimentIDs lists the identifiers in paper order.
+// ExperimentIDs lists the identifiers in paper order; "query" (the unified
+// query API's filtered-scan + aggregate sweep) extends the paper's set.
 var ExperimentIDs = []string{
 	"fig7a", "fig7b", "fig7c", "fig8", "table7",
 	"fig9a", "fig9b", "fig10a", "fig10c", "table8", "table9",
+	"query",
 }

@@ -1,0 +1,142 @@
+// The query experiment measures the unified Query API: predicate pushdown
+// through the scan engine's filtered bulk face versus the same filter
+// applied caller-side in a Scan callback, plus the filtered aggregate
+// kernels — the HTAP shape the paper's §6.1 scans approximate once
+// selection actually pushes into the columnar read path.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"lstore"
+)
+
+// QueryExp sweeps filter selectivity (1%, 10%, 100% of rows) and prints,
+// per selectivity: the filtered-query latency through predicate pushdown,
+// the equivalent Scan-with-callback-filter latency, and the filtered
+// aggregate (SUM+COUNT+MIN+MAX) latency.
+func QueryExp(o Options) error {
+	o = o.withDefaults()
+	db := lstore.Open()
+	defer db.Close()
+	tbl, err := db.CreateTable("q", lstore.NewSchema("id",
+		lstore.Column{Name: "id", Type: lstore.Int64},
+		lstore.Column{Name: "val", Type: lstore.Int64},
+		lstore.Column{Name: "pay", Type: lstore.Int64},
+	), lstore.TableOptions{RangeSize: o.RangeSize, MergeBatch: o.MergeBatch, ScanWorkers: o.ScanWorkers})
+	if err != nil {
+		return err
+	}
+	const batch = 4096
+	for lo := 0; lo < o.TableSize; lo += batch {
+		hi := lo + batch
+		if hi > o.TableSize {
+			hi = o.TableSize
+		}
+		tx := db.Begin(lstore.ReadCommitted)
+		for i := lo; i < hi; i++ {
+			if err := tbl.Insert(tx, lstore.Row{
+				"id": lstore.Int(int64(i)), "val": lstore.Int(int64(i)), "pay": lstore.Int(int64(-i)),
+			}); err != nil {
+				tx.Abort()
+				return err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	tbl.Merge()
+	ts := db.Now()
+
+	o.printf("# Query: filtered scan + aggregate vs callback filtering — %d rows\n", o.TableSize)
+	o.printf("%-8s %20s %20s %20s\n", "sel%", "query pushdown (ms)", "scan+filter (ms)", "query aggregate (ms)")
+	for _, pct := range []int{1, 10, 100} {
+		lo := int64(0)
+		hi := int64(o.TableSize*pct/100) - 1
+		filter := []lstore.Predicate{lstore.Between("val", lstore.Int(lo), lstore.Int(hi))}
+
+		queryMS, queryPS, err := measureQuery(o.Duration, func() error {
+			n := int64(0)
+			err := tbl.Query().Select("pay").Where(filter...).At(ts).Rows(func(rv *lstore.RowView) bool {
+				n++
+				return true
+			})
+			if err == nil && n != hi-lo+1 {
+				err = fmt.Errorf("query matched %d rows, want %d", n, hi-lo+1)
+			}
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		scanMSv, _, err := measureQuery(o.Duration, func() error {
+			n := int64(0)
+			err := tbl.Scan(ts, []string{"val", "pay"}, func(_ int64, row lstore.Row) bool {
+				if v := row["val"].Int(); v >= lo && v <= hi {
+					n++
+				}
+				return true
+			})
+			if err == nil && n != hi-lo+1 {
+				err = fmt.Errorf("scan matched %d rows, want %d", n, hi-lo+1)
+			}
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		aggMS, aggPS, err := measureQuery(o.Duration, func() error {
+			res, err := tbl.Query().Where(filter...).At(ts).
+				Aggregate(lstore.Sum("pay"), lstore.Count(), lstore.Min("pay"), lstore.Max("pay"))
+			if err == nil && res.Rows(1) != hi-lo+1 {
+				err = fmt.Errorf("aggregate counted %d rows, want %d", res.Rows(1), hi-lo+1)
+			}
+			return err
+		})
+		if err != nil {
+			return err
+		}
+
+		o.printf("%-8d %20.3f %20.3f %20.3f\n", pct, queryMS, scanMSv, aggMS)
+		o.record(Sample{
+			Experiment: "query", System: "L-Store Query",
+			Labels:      map[string]int{"sel_pct": pct},
+			ScanMillis:  queryMS,
+			ScansPerSec: queryPS,
+		})
+		o.record(Sample{
+			Experiment: "query", System: "L-Store Scan+filter",
+			Labels:     map[string]int{"sel_pct": pct},
+			ScanMillis: scanMSv,
+		})
+		o.record(Sample{
+			Experiment: "query", System: "L-Store QueryAggregate",
+			Labels:      map[string]int{"sel_pct": pct},
+			ScanMillis:  aggMS,
+			ScansPerSec: aggPS,
+		})
+	}
+	return nil
+}
+
+// measureQuery runs fn repeatedly for roughly window and returns the average
+// latency in milliseconds and the rate per second.
+func measureQuery(window time.Duration, fn func() error) (ms float64, perSec float64, err error) {
+	// One warm-up pass populates the scratch pools.
+	if err := fn(); err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	runs := 0
+	for runs == 0 || time.Since(start) < window { // at least one timed run
+		if err := fn(); err != nil {
+			return 0, 0, err
+		}
+		runs++
+	}
+	elapsed := time.Since(start)
+	avg := elapsed / time.Duration(runs)
+	return float64(avg.Microseconds()) / 1000, float64(runs) / elapsed.Seconds(), nil
+}

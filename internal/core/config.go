@@ -161,6 +161,7 @@ var (
 	ErrNotFound     = fmt.Errorf("core: key not found")
 	ErrBadValue     = fmt.Errorf("core: value does not match column type")
 	ErrClosed       = fmt.Errorf("core: store closed")
+	ErrNoIndex      = fmt.Errorf("core: no secondary index")
 )
 
 // ridLocation addresses a base record: which range and which slot.

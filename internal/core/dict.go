@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"math"
 	"sync"
 
 	"lstore/internal/types"
@@ -76,6 +78,12 @@ func (s *Store) encodeValue(col int, v types.Value) (uint64, error) {
 		if v.Kind() != types.Int64 {
 			return 0, ErrBadValue
 		}
+		if v.Int() == math.MaxInt64 {
+			// The one unstorable integer: its encoding would collide with
+			// the implicit null ∅ (EncodeInt64 would saturate it onto
+			// MaxInt64-1, silently corrupting the value).
+			return 0, fmt.Errorf("%w: math.MaxInt64 is reserved", ErrBadValue)
+		}
 		return types.EncodeInt64(v.Int()), nil
 	case types.String:
 		if v.Kind() != types.String {
@@ -84,6 +92,46 @@ func (s *Store) encodeValue(col int, v types.Value) (uint64, error) {
 		return s.dicts[col].encode(v.Str()), nil
 	}
 	return 0, ErrBadValue
+}
+
+// LookupSlot encodes v for column col WITHOUT side effects: unlike the
+// write-path encoder it never assigns new dictionary codes. ok=false means
+// no stored slot can possibly equal v (a string absent from the dictionary)
+// — the query planner turns that into an empty plan. A type mismatch
+// between v and the column returns ErrBadValue.
+func (s *Store) LookupSlot(col int, v types.Value) (slot uint64, ok bool, err error) {
+	if v.IsNull() {
+		return types.NullSlot, true, nil
+	}
+	switch s.schema.Cols[col].Type {
+	case types.Int64:
+		if v.Kind() != types.Int64 {
+			return 0, false, ErrBadValue
+		}
+		if v.Int() == math.MaxInt64 {
+			return 0, false, nil // unstorable (see encodeValue): matches nothing
+		}
+		return types.EncodeInt64(v.Int()), true, nil
+	case types.String:
+		if v.Kind() != types.String {
+			return 0, false, ErrBadValue
+		}
+		c, ok := s.dicts[col].lookup(v.Str())
+		return c, ok, nil
+	}
+	return 0, false, ErrBadValue
+}
+
+// DecodeSlot converts a stored slot back to a typed value for column col —
+// the hook RowView's lazy per-column accessors decode through. Dictionary
+// decodes return the interned string, so decoding allocates nothing.
+func (s *Store) DecodeSlot(col int, slot uint64) types.Value { return s.decodeValue(col, slot) }
+
+// HasSecondary reports whether col carries a declared secondary index (the
+// planner's index-selection test).
+func (s *Store) HasSecondary(col int) bool {
+	_, ok := s.secondary[col]
+	return ok
 }
 
 // decodeValue converts a slot back to a typed value for column col.

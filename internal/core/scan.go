@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -10,10 +11,11 @@ import (
 )
 
 // This file is the table's one columnar batch-read subsystem: every
-// analytical read path — ScanSum/ScanSumRIDs, ScanRange, and the probe side
-// of LookupSecondary — funnels through it instead of growing its own inline
-// fast path (§4.2's TPS interpretation and §6.1's "SUM over a continuously
-// updated column" are the shapes it serves).
+// analytical read path — ScanSum/ScanSumRIDs, ScanRange, ScanFiltered,
+// ScanAggregate, and the probe side of LookupSecondary/ProbeFiltered —
+// funnels through it instead of growing its own inline fast path (§4.2's TPS
+// interpretation and §6.1's "SUM over a continuously updated column" are the
+// shapes it serves).
 //
 // The engine has two faces:
 //
@@ -28,10 +30,140 @@ import (
 //     so bulk decode would not amortize; the probe applies the same
 //     classification per slot against the compressed pages directly.
 //
+// Predicate pushdown (the query layer's plans compile onto these hooks):
+// a scan may carry []Pred — slot-window tests evaluated VECTORIZED over the
+// decoded column pages, one filter bitmap per 64-slot word, before any row
+// materialization. A word whose filter bitmap is empty and whose updated
+// bitmap is empty is skipped outright: selective scans touch no per-row
+// state at all for most of the table. Chain-walk slots re-evaluate the
+// predicates against the walk's output (the decoded page value may be stale
+// for them).
+//
 // Scans optionally fan independent ranges out across a worker pool
 // (Config.ScanWorkers): aggregates merge per-worker partials after the pool
 // drains, and callback scans stage each range's rows so delivery order is
 // exactly the sequential order.
+
+// ---------------------------------------------------------------------------
+// Predicates (pushdown) and aggregate kernels
+
+// Pred is one pushed-down predicate over slot-encoded values of a scan
+// column. Idx is the position of the predicate's column inside the scan's
+// cols slice (NOT a schema column index). The test is an inclusive window
+// over the slot encoding — Int64 slots are order-preserving, so every
+// comparison (=, <, <=, >, >=, BETWEEN) normalizes to a window; equality on
+// dictionary codes is the degenerate window Lo == Hi.
+//
+// Invariant: Lo <= Hi (the planner guarantees it; Matches relies on the
+// single unsigned compare v-Lo <= Hi-Lo).
+//
+// Negate inverts the window with null exclusion: the predicate matches
+// values OUTSIDE [Lo, Hi] that are not ∅ (the shape of != and IS NOT NULL).
+// Non-negated windows exclude ∅ implicitly whenever Hi < NullSlot; the
+// window [NullSlot, NullSlot] is IS NULL.
+type Pred struct {
+	Idx    int
+	Lo, Hi uint64
+	Negate bool
+}
+
+// Matches evaluates the predicate against one slot value.
+func (p Pred) Matches(v uint64) bool {
+	in := v-p.Lo <= p.Hi-p.Lo
+	if p.Negate {
+		return !in && v != types.NullSlot
+	}
+	return in
+}
+
+// AggOp enumerates the engine's aggregate kernels.
+type AggOp uint8
+
+const (
+	// AggCount counts matching rows (not non-null values).
+	AggCount AggOp = iota
+	// AggSum sums the non-null Int64 values of a column.
+	AggSum
+	// AggMin tracks the minimum non-null slot of a column (order-preserving
+	// Int64 encoding; meaningless for dictionary codes — the API layer
+	// restricts Min/Max to Int64 columns).
+	AggMin
+	// AggMax tracks the maximum non-null slot of a column.
+	AggMax
+)
+
+// AggSpec is one requested aggregate: the kernel and the position of its
+// column inside the scan's cols slice (ignored by AggCount).
+type AggSpec struct {
+	Op  AggOp
+	Idx int
+}
+
+// AggState is one aggregate's running (and mergeable) state. Count is the
+// number of contributing rows: matched rows for AggCount, non-null values
+// for the other kernels. Merging states is exact integer arithmetic, so
+// parallel scans produce bit-identical results for every worker schedule.
+type AggState struct {
+	Sum     int64
+	Count   int64
+	MinSlot uint64
+	MaxSlot uint64
+	Seen    bool // a non-null value reached MinSlot/MaxSlot
+}
+
+// foldAgg folds one emitted row into the aggregate states.
+func foldAgg(states []AggState, specs []AggSpec, vals []uint64) {
+	for i := range specs {
+		st := &states[i]
+		switch specs[i].Op {
+		case AggCount:
+			st.Count++
+		case AggSum:
+			if v := vals[specs[i].Idx]; v != types.NullSlot {
+				st.Sum += types.DecodeInt64(v)
+				st.Count++
+			}
+		case AggMin:
+			if v := vals[specs[i].Idx]; v != types.NullSlot {
+				st.Count++
+				if !st.Seen || v < st.MinSlot {
+					st.MinSlot = v
+				}
+				st.Seen = true
+			}
+		case AggMax:
+			if v := vals[specs[i].Idx]; v != types.NullSlot {
+				st.Count++
+				if !st.Seen || v > st.MaxSlot {
+					st.MaxSlot = v
+				}
+				st.Seen = true
+			}
+		}
+	}
+}
+
+// FoldAgg folds one materialized row into states — the query layer uses it
+// to aggregate over index-probe plans, which deliver rows through
+// ProbeFiltered instead of ScanAggregate.
+func FoldAgg(states []AggState, specs []AggSpec, vals []uint64) { foldAgg(states, specs, vals) }
+
+// mergeAggStates folds src (one worker's partials) into dst.
+func mergeAggStates(dst, src []AggState) {
+	for i := range dst {
+		dst[i].Sum += src[i].Sum
+		dst[i].Count += src[i].Count
+		if src[i].Seen {
+			if !dst[i].Seen || src[i].MinSlot < dst[i].MinSlot {
+				dst[i].MinSlot = src[i].MinSlot
+			}
+			if !dst[i].Seen || src[i].MaxSlot > dst[i].MaxSlot {
+				dst[i].MaxSlot = src[i].MaxSlot
+			}
+			dst[i].Seen = true
+		}
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Pooled scratch
@@ -52,7 +184,7 @@ type scanScratch struct {
 var scanScratchPool = sync.Pool{New: func() any { return new(scanScratch) }}
 
 // rowBatch stages one range's emitted rows for the ordered parallel
-// ScanRange pipeline (flat, stride = len(readCols)).
+// filtered-scan pipeline (flat, stride = len(cols)).
 type rowBatch struct{ rows []uint64 }
 
 var rowBatchPool = sync.Pool{New: func() any { return new(rowBatch) }}
@@ -66,6 +198,14 @@ var rowBatchPool = sync.Pool{New: func() any { return new(rowBatch) }}
 // and the page reads always use the same snapshots.
 func gatherCols(r *updateRange, cols []int, cvs []*colVersion) (minTPS, maxTPS types.RID, ok bool) {
 	minTPS = ^types.RID(0)
+	if len(cols) == 0 {
+		// Existence-only reads (a bare COUNT): no column lineage can vouch
+		// for merged state, so return a maxTPS no real mv.tps reaches —
+		// every merged-fast-path gate (mv.tps >= maxTPS) then fails and
+		// updated slots take the chain walk, the only place an unmerged
+		// delete tombstone is discoverable.
+		return minTPS, ^types.RID(0), true
+	}
 	for i, c := range cols {
 		cv := r.colVer(c)
 		if cv == nil {
@@ -105,26 +245,29 @@ func (r *updateRange) mergedCurrent(ts types.Timestamp, slot int, raw, lu uint64
 }
 
 // rangeScanner streams the visible records of ranges under one snapshot
-// view. A scanner is single-goroutine; parallel scans give each worker its
-// own. fast/slow count slots served from decoded pages vs the chain walk
+// view, optionally applying pushed-down predicates before emitting. A
+// scanner is single-goroutine; parallel scans give each worker its own.
+// fast/slow count slots served from decoded pages vs the chain walk
 // (flushed into the store gauges by finish).
 type rangeScanner struct {
-	s    *Store
-	ts   types.Timestamp
-	view readView
-	cols []int
-	sc   *scanScratch
-	fast int64
-	slow int64
+	s     *Store
+	ts    types.Timestamp
+	view  readView
+	cols  []int
+	preds []Pred
+	sc    *scanScratch
+	fast  int64
+	slow  int64
 }
 
-func newRangeScanner(s *Store, ts types.Timestamp, cols []int) rangeScanner {
+func newRangeScanner(s *Store, ts types.Timestamp, cols []int, preds []Pred) rangeScanner {
 	rs := rangeScanner{
-		s:    s,
-		ts:   ts,
-		view: asOfView(ts),
-		cols: cols,
-		sc:   scanScratchPool.Get().(*scanScratch),
+		s:     s,
+		ts:    ts,
+		view:  asOfView(ts),
+		cols:  cols,
+		preds: preds,
+		sc:    scanScratchPool.Get().(*scanScratch),
 	}
 	n := len(cols)
 	sc := rs.sc
@@ -162,11 +305,58 @@ func (rs *rangeScanner) finish() {
 	rs.sc = nil
 }
 
+// filterWord computes the predicate bitmap for slots [lo, hi) of one 64-slot
+// word straight from the decoded column pages: bit slot&63 is set when every
+// pushed predicate matches the page value. Each predicate is one unsigned
+// window compare per lane (no per-row branching on op), so selective scans
+// reject most of a word before any visibility or materialization work. The
+// bitmap is authoritative only for slots served from the decoded pages
+// (never-updated and merged-current); chain-walk slots re-check via
+// predsMatch on the walk output.
+func (rs *rangeScanner) filterWord(lo, hi int) uint64 {
+	fb := ^uint64(0)
+	for pi := range rs.preds {
+		p := &rs.preds[pi]
+		col := rs.sc.data[p.Idx]
+		span := p.Hi - p.Lo
+		var m uint64
+		if p.Negate {
+			for slot := lo; slot < hi; slot++ {
+				if v := col[slot]; v-p.Lo > span && v != types.NullSlot {
+					m |= 1 << uint(slot&63)
+				}
+			}
+		} else {
+			for slot := lo; slot < hi; slot++ {
+				if col[slot]-p.Lo <= span {
+					m |= 1 << uint(slot&63)
+				}
+			}
+		}
+		if fb &= m; fb == 0 {
+			break
+		}
+	}
+	return fb
+}
+
+// predsMatch scalar-evaluates every predicate against one materialized row
+// (chain-walk results and unsealed-range rows, where no decoded page backs
+// the value).
+func (rs *rangeScanner) predsMatch(vals []uint64) bool {
+	for i := range rs.preds {
+		if !rs.preds[i].Matches(vals[rs.preds[i].Idx]) {
+			return false
+		}
+	}
+	return true
+}
+
 // scanRange streams every record of r visible as of rs.ts whose slot lies in
-// [slot0, nRows), in slot order. emit receives the slot and the slot-encoded
-// values of rs.cols (the slice is reused; copy to retain) and returns false
-// to stop the whole scan. scanRange reports whether the scan ran to
-// completion.
+// [slot0, nRows) and matches every pushed predicate, in slot order. emit
+// receives the slot and the slot-encoded values of rs.cols (the slice is
+// reused; copy to retain) and returns false to stop the whole scan.
+// scanRange reports whether the scan ran to completion.
 func (rs *rangeScanner) scanRange(r *updateRange, slot0, nRows int, emit func(slot int, vals []uint64) bool) bool {
 	sc := rs.sc
 	mv := r.meta.Load()
@@ -188,10 +378,13 @@ func (rs *rangeScanner) scanRange(r *updateRange, slot0, nRows int, emit func(sl
 	sc.last = decodeInto(sc.last[:0], mv.lastUpdated)
 	// The merged fast path for updated slots relies on Last Updated Time
 	// covering every record any requested column's TPS claims (true unless
-	// an independent column merge ran ahead of the last full merge).
+	// an independent column merge ran ahead of the last full merge; never
+	// true for zero requested columns, whose gatherCols maxTPS is the
+	// unreachable sentinel).
 	luValid := mv.tps >= maxTPS
 	ts := rs.ts
 	vals := sc.vals
+	filtered := len(rs.preds) > 0
 
 	for wi := slot0 >> 6; wi<<6 < nRows; wi++ {
 		lo, hi := wi<<6, (wi+1)<<6
@@ -202,9 +395,19 @@ func (rs *rangeScanner) scanRange(r *updateRange, slot0, nRows int, emit func(sl
 			hi = nRows
 		}
 		word := r.updatedBits[wi].Load()
+		fb := ^uint64(0)
+		if filtered {
+			fb = rs.filterWord(lo, hi)
+			if fb == 0 && word == 0 {
+				continue // 64 slots rejected with zero per-row work
+			}
+		}
 		if word == 0 {
 			// 64 never-updated slots: serve straight from the decoded pages.
 			for slot := lo; slot < hi; slot++ {
+				if fb&(1<<uint(slot&63)) == 0 {
+					continue
+				}
 				raw := sc.start[slot]
 				if raw == types.NullSlot || raw > ts {
 					continue // absent, aborted, or inserted after ts
@@ -220,7 +423,11 @@ func (rs *rangeScanner) scanRange(r *updateRange, slot0, nRows int, emit func(sl
 			continue
 		}
 		for slot := lo; slot < hi; slot++ {
-			if word&(1<<uint(slot&63)) == 0 {
+			bit := uint64(1) << uint(slot&63)
+			if word&bit == 0 {
+				if fb&bit == 0 {
+					continue
+				}
 				raw := sc.start[slot]
 				if raw == types.NullSlot || raw > ts {
 					continue
@@ -236,11 +443,11 @@ func (rs *rangeScanner) scanRange(r *updateRange, slot0, nRows int, emit func(sl
 			}
 			// Updated record, but fully merged into every requested column
 			// and last changed at or before the snapshot: the merged page
-			// values ARE the values at ts.
+			// values ARE the values at ts, so the filter bitmap decides.
 			if luValid {
 				if serve, deleted := r.mergedCurrent(ts, slot, sc.start[slot], sc.last[slot], minTPS); serve {
-					if deleted {
-						continue // deleted at or before lu <= ts
+					if deleted || fb&bit == 0 {
+						continue
 					}
 					for i := range vals {
 						vals[i] = sc.data[i][slot]
@@ -252,10 +459,15 @@ func (rs *rangeScanner) scanRange(r *updateRange, slot0, nRows int, emit func(sl
 					continue
 				}
 			}
-			// Unmerged lineage: the chain walk decides.
+			// Unmerged lineage: the chain walk decides, and the predicates
+			// re-evaluate against the walk's output (the page value may be
+			// stale for this slot).
 			rs.slow++
 			res := r.readCols(rs.view, slot, rs.cols, sc.out)
 			if !res.exists {
+				continue
+			}
+			if filtered && !rs.predsMatch(sc.out) {
 				continue
 			}
 			copy(vals, sc.out)
@@ -270,11 +482,13 @@ func (rs *rangeScanner) scanRange(r *updateRange, slot0, nRows int, emit func(sl
 // scanUnsealed handles insert ranges (and the brief window while a seal
 // publishes versions): base values still live in table-level tail pages and
 // visibility may need transaction resolution, so clean slots read the pages
-// point-wise and everything unresolved falls back to the chain walk.
+// point-wise, predicates evaluate scalar-wise on the materialized row, and
+// everything unresolved falls back to the chain walk.
 func (rs *rangeScanner) scanUnsealed(r *updateRange, slot0, nRows int, emit func(slot int, vals []uint64) bool) bool {
 	sc := rs.sc
 	ts := rs.ts
 	vals := sc.vals
+	filtered := len(rs.preds) > 0
 	for wi := slot0 >> 6; wi<<6 < nRows; wi++ {
 		lo, hi := wi<<6, (wi+1)<<6
 		if lo < slot0 {
@@ -297,6 +511,9 @@ func (rs *rangeScanner) scanUnsealed(r *updateRange, slot0, nRows int, emit func
 					for i, c := range rs.cols {
 						vals[i] = r.baseValue(slot, c)
 					}
+					if filtered && !rs.predsMatch(vals) {
+						continue
+					}
 					rs.fast++
 					if !emit(slot, vals) {
 						return false
@@ -308,6 +525,9 @@ func (rs *rangeScanner) scanUnsealed(r *updateRange, slot0, nRows int, emit func
 			rs.slow++
 			res := r.readCols(rs.view, slot, rs.cols, sc.out)
 			if !res.exists {
+				continue
+			}
+			if filtered && !rs.predsMatch(sc.out) {
 				continue
 			}
 			copy(vals, sc.out)
@@ -425,48 +645,54 @@ func (s *Store) ScanSum(ts types.Timestamp, col int) (sum int64, rows int64) {
 }
 
 // ScanSumRIDs is ScanSum over base RIDs in [loRID, hiRID) — the harness's
-// "scan 10% of the table" shape. Ranges fan out across the scan worker pool
-// when Config.ScanWorkers allows; per-worker partial aggregates are merged
-// after the pool drains (exact integer addition, so the result is identical
-// for every schedule).
+// "scan 10% of the table" shape. It is a thin wrapper over the AggSum
+// kernel of ScanAggregate.
 func (s *Store) ScanSumRIDs(ts types.Timestamp, col int, loRID, hiRID types.RID) (sum int64, rows int64) {
+	states := s.ScanAggregate(ts, []int{col}, nil, []AggSpec{{Op: AggSum, Idx: 0}}, loRID, hiRID)
+	return states[0].Sum, states[0].Count
+}
+
+// ScanAggregate runs the requested aggregate kernels over the rows visible
+// as of ts whose base RIDs fall in [loRID, hiRID) and match every pushed
+// predicate. cols names the schema columns the scan materializes; preds and
+// specs index positions within cols. Ranges fan out across the scan worker
+// pool when Config.ScanWorkers allows; per-worker partials merge with exact
+// integer arithmetic after the pool drains, so the result is identical for
+// every schedule.
+func (s *Store) ScanAggregate(ts types.Timestamp, cols []int, preds []Pred, specs []AggSpec, loRID, hiRID types.RID) []AggState {
 	g := s.em.Pin()
 	defer g.Unpin()
 	targets := s.scanTargets(loRID, hiRID)
-	cols := []int{col}
+	states := make([]AggState, len(specs))
 	if workers := s.scanWorkersFor(len(targets)); workers > 1 {
-		sum, rows = s.parallelSum(targets, ts, cols, workers)
+		s.parallelAggregate(targets, ts, cols, preds, specs, states, workers)
 	} else {
-		rs := newRangeScanner(s, ts, cols)
+		rs := newRangeScanner(s, ts, cols, preds)
 		for _, t := range targets {
 			rs.scanRange(t.r, t.slot0, t.nRows, func(_ int, vals []uint64) bool {
-				if v := vals[0]; v != types.NullSlot {
-					sum += types.DecodeInt64(v)
-					rows++
-				}
+				foldAgg(states, specs, vals)
 				return true
 			})
 		}
 		rs.finish()
 	}
 	s.stats.Scans.Add(1)
-	return sum, rows
+	return states
 }
 
-// parallelSum fans targets out across workers. Each worker owns a scanner
-// (its own pooled scratch) and a partial aggregate; partials merge in worker
-// order once the pool drains. The caller's epoch pin covers every worker.
-func (s *Store) parallelSum(targets []scanTarget, ts types.Timestamp, cols []int, workers int) (int64, int64) {
+// parallelAggregate fans targets out across workers. Each worker owns a
+// scanner (its own pooled scratch) and partial aggregate states; partials
+// merge once the pool drains. The caller's epoch pin covers every worker.
+func (s *Store) parallelAggregate(targets []scanTarget, ts types.Timestamp, cols []int, preds []Pred, specs []AggSpec, states []AggState, workers int) {
 	var next atomic.Int64
-	sums := make([]int64, workers)
-	counts := make([]int64, workers)
+	partials := make([][]AggState, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rs := newRangeScanner(s, ts, cols)
-			var sum, rows int64
+			rs := newRangeScanner(s, ts, cols, preds)
+			part := make([]AggState, len(specs))
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(targets) {
@@ -474,49 +700,41 @@ func (s *Store) parallelSum(targets []scanTarget, ts types.Timestamp, cols []int
 				}
 				t := targets[i]
 				rs.scanRange(t.r, t.slot0, t.nRows, func(_ int, vals []uint64) bool {
-					if v := vals[0]; v != types.NullSlot {
-						sum += types.DecodeInt64(v)
-						rows++
-					}
+					foldAgg(part, specs, vals)
 					return true
 				})
 			}
-			sums[w], counts[w] = sum, rows
+			partials[w] = part
 			rs.finish()
 		}(w)
 	}
 	wg.Wait()
-	var sum, rows int64
 	for w := 0; w < workers; w++ {
-		sum += sums[w]
-		rows += counts[w]
+		mergeAggStates(states, partials[w])
 	}
-	return sum, rows
 }
 
-// ScanRange applies fn to the requested columns of every live record (as of
-// ts) whose base RID falls in [loRID, hiRID), in RID order; fn returning
-// false stops the scan. Pass 0,^0 for a full scan. With ScanWorkers > 1
-// ranges are scanned concurrently but fn still runs only on the calling
-// goroutine and observes exactly the sequential row order.
-func (s *Store) ScanRange(ts types.Timestamp, cols []int, loRID, hiRID types.RID, fn func(key int64, vals []types.Value) bool) {
+// ScanFiltered streams the slot-encoded values of cols for every live record
+// (as of ts) whose base RID falls in [loRID, hiRID) and that matches every
+// pushed predicate, in RID order; fn returning false stops the scan. The
+// vals slice is reused between calls — copy what must be retained. This is
+// the bulk face the query layer's filtered plans compile onto: with
+// ScanWorkers > 1 predicates evaluate inside the workers (only matching rows
+// are staged), but fn still runs only on the calling goroutine and observes
+// exactly the sequential row order.
+func (s *Store) ScanFiltered(ts types.Timestamp, cols []int, preds []Pred, loRID, hiRID types.RID, fn func(vals []uint64) bool) {
 	g := s.em.Pin()
 	defer g.Unpin()
-	readCols := make([]int, 0, len(cols)+1)
-	readCols = append(readCols, cols...)
-	readCols = append(readCols, s.schema.Key)
 	targets := s.scanTargets(loRID, hiRID)
-	vals := make([]types.Value, len(cols))
-	if workers := s.scanWorkersFor(len(targets)); workers > 1 {
-		s.parallelRange(targets, ts, readCols, cols, vals, fn, workers)
+	// Zero-width rows cannot ride the flat staging buffers (stride 0), so
+	// existence-only scans stay sequential.
+	if workers := s.scanWorkersFor(len(targets)); workers > 1 && len(cols) > 0 {
+		s.parallelFiltered(targets, ts, cols, preds, fn, workers)
 	} else {
-		rs := newRangeScanner(s, ts, readCols)
+		rs := newRangeScanner(s, ts, cols, preds)
 		for _, t := range targets {
-			if !rs.scanRange(t.r, t.slot0, t.nRows, func(_ int, out []uint64) bool {
-				for i, c := range cols {
-					vals[i] = s.decodeValue(c, out[i])
-				}
-				return fn(types.DecodeInt64(out[len(out)-1]), vals)
+			if !rs.scanRange(t.r, t.slot0, t.nRows, func(_ int, vals []uint64) bool {
+				return fn(vals)
 			}) {
 				break
 			}
@@ -526,8 +744,25 @@ func (s *Store) ScanRange(ts types.Timestamp, cols []int, loRID, hiRID types.RID
 	s.stats.Scans.Add(1)
 }
 
-// parallelRange scans targets concurrently while preserving sequential
-// delivery: workers stage each range's visible rows in a pooled flat buffer
+// ScanRange applies fn to the requested columns of every live record (as of
+// ts) whose base RID falls in [loRID, hiRID), in RID order; fn returning
+// false stops the scan. Pass 0,^0 for a full scan. A thin wrapper over
+// ScanFiltered that decodes values and peels off the key column.
+func (s *Store) ScanRange(ts types.Timestamp, cols []int, loRID, hiRID types.RID, fn func(key int64, vals []types.Value) bool) {
+	readCols := make([]int, 0, len(cols)+1)
+	readCols = append(readCols, cols...)
+	readCols = append(readCols, s.schema.Key)
+	vals := make([]types.Value, len(cols))
+	s.ScanFiltered(ts, readCols, nil, loRID, hiRID, func(out []uint64) bool {
+		for i, c := range cols {
+			vals[i] = s.decodeValue(c, out[i])
+		}
+		return fn(types.DecodeInt64(out[len(out)-1]), vals)
+	})
+}
+
+// parallelFiltered scans targets concurrently while preserving sequential
+// delivery: workers stage each range's matching rows in a pooled flat buffer
 // and the caller's goroutine drains the batches in range order, so fn is
 // never called concurrently and sees rows exactly as a sequential scan
 // would. Workers acquire a semaphore slot BEFORE claiming a range index, so
@@ -535,8 +770,8 @@ func (s *Store) ScanRange(ts types.Timestamp, cols []int, loRID, hiRID types.RID
 // cannot deadlock; at most `workers` staged batches exist at once. A false
 // return from fn raises the stop flag — in-flight workers then publish
 // empty batches and the drain completes cheaply.
-func (s *Store) parallelRange(targets []scanTarget, ts types.Timestamp, readCols, cols []int, vals []types.Value, fn func(int64, []types.Value) bool, workers int) {
-	stride := len(readCols)
+func (s *Store) parallelFiltered(targets []scanTarget, ts types.Timestamp, cols []int, preds []Pred, fn func([]uint64) bool, workers int) {
+	stride := len(cols)
 	batches := make([]chan *rowBatch, len(targets))
 	for i := range batches {
 		batches[i] = make(chan *rowBatch, 1)
@@ -549,7 +784,7 @@ func (s *Store) parallelRange(targets []scanTarget, ts types.Timestamp, readCols
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rs := newRangeScanner(s, ts, readCols)
+			rs := newRangeScanner(s, ts, cols, preds)
 			for {
 				sem <- struct{}{}
 				i := int(next.Add(1)) - 1
@@ -576,11 +811,7 @@ func (s *Store) parallelRange(targets []scanTarget, ts types.Timestamp, readCols
 		<-sem
 		rows := b.rows
 		for off := 0; off+stride <= len(rows) && !stopped.Load(); off += stride {
-			out := rows[off : off+stride]
-			for j, c := range cols {
-				vals[j] = s.decodeValue(c, out[j])
-			}
-			if !fn(types.DecodeInt64(out[stride-1]), vals) {
+			if !fn(rows[off : off+stride]) {
 				stopped.Store(true)
 			}
 		}
@@ -590,52 +821,73 @@ func (s *Store) parallelRange(targets []scanTarget, ts types.Timestamp, readCols
 	wg.Wait()
 }
 
-// LookupSecondary returns the keys of live records whose column col
-// currently has value v (snapshot at ts), re-evaluating the predicate
-// against the visible version as §3.1 requires for possibly-stale entries.
-// Probes ride the scan engine's point face: never-updated and fully merged
-// records resolve against base pages without a chain walk.
-func (s *Store) LookupSecondary(ts types.Timestamp, col int, v types.Value) ([]int64, error) {
+// ---------------------------------------------------------------------------
+// Index-probe plans (the point face's bulk entry)
+
+// ProbeFiltered resolves a query's index-probe plan: the secondary index on
+// schema column col supplies candidate base RIDs for the encoded value sv,
+// each candidate resolves through the scan engine's point face, and preds
+// re-evaluate against the visible version — the probe predicate itself MUST
+// appear in preds, because index entries may be stale (§3.1). cols names
+// the materialized schema columns; preds index positions within cols.
+// Candidates probe in ascending base-RID order, so delivery order matches a
+// bulk scan of the same rows. The vals slice handed to fn is reused.
+func (s *Store) ProbeFiltered(ts types.Timestamp, col int, sv uint64, cols []int, preds []Pred, fn func(vals []uint64) bool) error {
 	sec, ok := s.secondary[col]
 	if !ok {
-		return nil, fmt.Errorf("core: no secondary index on column %d", col)
-	}
-	sv, err := s.encodeValue(col, v)
-	if err != nil {
-		return nil, err
+		return fmt.Errorf("%w on column %d", ErrNoIndex, col)
 	}
 	g := s.em.Pin()
 	defer g.Unpin()
-	sc := scanScratchPool.Get().(*scanScratch)
+	rs := newRangeScanner(s, ts, cols, preds) // sizes pooled scratch to len(cols)
+	sc := rs.sc
 	sc.rids = sec.LookupAppend(sc.rids[:0], sv)
-	readCols := [2]int{col, s.schema.Key}
-	var cvs [2]*colVersion
-	var out [2]uint64
-	var keys []int64
-	var fast, slow int64
+	slices.Sort(sc.rids)
 	for _, rid := range sc.rids {
 		loc, ok := s.locate(rid)
 		if !ok {
 			continue
 		}
-		exists, served := s.probeSlot(ts, loc.rng, loc.slot, readCols[:], out[:], cvs[:])
+		exists, served := s.probeSlot(ts, loc.rng, loc.slot, cols, sc.out, sc.cvs)
 		if served {
-			fast++
+			rs.fast++
 		} else {
-			slow++
+			rs.slow++
 		}
-		if exists && out[0] == sv { // predicate re-check
-			keys = append(keys, types.DecodeInt64(out[1]))
+		if !exists || !rs.predsMatch(sc.out) {
+			continue
+		}
+		if !fn(sc.out) {
+			break
 		}
 	}
-	if fast != 0 {
-		s.stats.ScanFastSlots.Add(uint64(fast))
+	rs.finish()
+	return nil
+}
+
+// LookupSecondary returns the keys of live records whose column col
+// currently has value v (snapshot at ts) — a thin wrapper over the
+// ProbeFiltered plan with the equality predicate pushed down (the stale-
+// entry re-check §3.1 requires). Keys arrive in ascending base-RID order.
+func (s *Store) LookupSecondary(ts types.Timestamp, col int, v types.Value) ([]int64, error) {
+	if !s.HasSecondary(col) {
+		return nil, fmt.Errorf("%w on column %d", ErrNoIndex, col)
 	}
-	if slow != 0 {
-		s.stats.ScanSlowSlots.Add(uint64(slow))
+	sv, ok, err := s.LookupSlot(col, v)
+	if err != nil {
+		return nil, err
 	}
-	scanScratchPool.Put(sc)
-	return keys, nil
+	if !ok {
+		return nil, nil // value cannot appear in any stored slot
+	}
+	readCols := []int{col, s.schema.Key}
+	preds := []Pred{{Idx: 0, Lo: sv, Hi: sv}}
+	var keys []int64
+	err = s.ProbeFiltered(ts, col, sv, readCols, preds, func(vals []uint64) bool {
+		keys = append(keys, types.DecodeInt64(vals[1]))
+		return true
+	})
+	return keys, err
 }
 
 // decodeInto appends the decoded slots of p to buf (bulk decompression for

@@ -93,6 +93,104 @@ func (s *Store) encodeOracle(col int, v types.Value) uint64 {
 	return sv
 }
 
+// oracleFiltered is the slow-path reference for ScanFiltered: one readCols
+// chain walk per slot with the predicates evaluated scalar-wise on the walk
+// output, rows flattened in RID order.
+func oracleFiltered(s *Store, ts types.Timestamp, cols []int, preds []Pred, lo, hi types.RID) []int64 {
+	view := asOfView(ts)
+	out := make([]uint64, len(cols))
+	var flat []int64
+	for ri := 0; ri < s.rangeCount(); ri++ {
+		r := s.rangeAt(ri)
+		nRows := r.rowCount()
+		for slot := 0; slot < nRows; slot++ {
+			rid := r.firstRID + types.RID(slot)
+			if rid < lo || rid >= hi {
+				continue
+			}
+			res := r.readCols(view, slot, cols, out)
+			if !res.exists {
+				continue
+			}
+			match := true
+			for _, p := range preds {
+				if !p.Matches(out[p.Idx]) {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			for i := range cols {
+				flat = append(flat, int64(out[i]))
+			}
+		}
+	}
+	return flat
+}
+
+// engineFiltered collects ScanFiltered's raw rows in the oracle's shape.
+func engineFiltered(s *Store, ts types.Timestamp, cols []int, preds []Pred, lo, hi types.RID) []int64 {
+	var flat []int64
+	s.ScanFiltered(ts, cols, preds, lo, hi, func(vals []uint64) bool {
+		for _, v := range vals {
+			flat = append(flat, int64(v))
+		}
+		return true
+	})
+	return flat
+}
+
+// oracleAggStates folds oracle-produced flat rows through the same kernels
+// the engine uses, so the comparison isolates the scan, not the fold.
+func oracleAggStates(flat []int64, stride int, specs []AggSpec) []AggState {
+	states := make([]AggState, len(specs))
+	vals := make([]uint64, stride)
+	for off := 0; off+stride <= len(flat); off += stride {
+		for i := 0; i < stride; i++ {
+			vals[i] = uint64(flat[off+i])
+		}
+		foldAgg(states, specs, vals)
+	}
+	return states
+}
+
+// oracleProbeFiltered is the slow-path reference for ProbeFiltered: the same
+// index candidate list (stale entries included), per-slot chain walks, and
+// scalar predicate re-checks, flattened in ascending base-RID order.
+func oracleProbeFiltered(s *Store, ts types.Timestamp, col int, sv uint64, cols []int, preds []Pred) []int64 {
+	view := asOfView(ts)
+	out := make([]uint64, len(cols))
+	rids := s.secondary[col].Lookup(sv)
+	sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
+	var flat []int64
+	for _, rid := range rids {
+		loc, ok := s.locate(rid)
+		if !ok {
+			continue
+		}
+		res := loc.rng.readCols(view, loc.slot, cols, out)
+		if !res.exists {
+			continue
+		}
+		match := true
+		for _, p := range preds {
+			if !p.Matches(out[p.Idx]) {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		for i := range cols {
+			flat = append(flat, int64(out[i]))
+		}
+	}
+	return flat
+}
+
 // oracleSecondary is the slow-path reference for LookupSecondary.
 func oracleSecondary(s *Store, ts types.Timestamp, col int, sv uint64) []int64 {
 	view := asOfView(ts)
@@ -111,6 +209,18 @@ func oracleSecondary(s *Store, ts types.Timestamp, col int, sv uint64) []int64 {
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	return keys
+}
+
+func equalAggStates(a, b []AggState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func sortedCopy(in []int64) []int64 {
@@ -277,6 +387,57 @@ func runScanOracle(t *testing.T, workers, iters int) {
 			t.Fatalf("iter %d: LookupSecondary diverges: got %v want %v",
 				iter, sortedCopy(gotKeys), keysA)
 		}
+
+		// Predicate pushdown: a window on col 1 plus an equality/negation on
+		// col 2, through the filtered bulk face and the aggregate kernels.
+		// (Every 4th iteration: each comparison costs two full oracle walks.)
+		if iter%4 != 0 {
+			continue
+		}
+		fcols := []int{1, 2, s.schema.Key}
+		k := int64(r.Intn(7))
+		fpreds := []Pred{
+			{Idx: 0, Lo: types.EncodeInt64(0), Hi: types.EncodeInt64(int64(200 + r.Intn(3000)))},
+			{Idx: 1, Lo: types.EncodeInt64(k), Hi: types.EncodeInt64(k), Negate: iter%3 == 0},
+		}
+		specs := []AggSpec{{Op: AggSum, Idx: 0}, {Op: AggCount}, {Op: AggMin, Idx: 0}, {Op: AggMax, Idx: 2}}
+		fA := oracleFiltered(s, ts, fcols, fpreds, lo, hi)
+		fGot := engineFiltered(s, ts, fcols, fpreds, lo, hi)
+		gotStates := s.ScanAggregate(ts, fcols, fpreds, specs, lo, hi)
+		fB := oracleFiltered(s, ts, fcols, fpreds, lo, hi)
+		if equalI64(fA, fB) {
+			if !equalI64(fGot, fA) {
+				t.Fatalf("iter %d: ScanFiltered(%d,%d) diverges: got %d values, want %d",
+					iter, lo, hi, len(fGot), len(fA))
+			}
+			if wantStates := oracleAggStates(fA, len(fcols), specs); !equalAggStates(gotStates, wantStates) {
+				t.Fatalf("iter %d: ScanAggregate diverges: got %+v want %+v",
+					iter, gotStates, wantStates)
+			}
+		}
+
+		// Index-probe plan with an extra pushed predicate (probe candidates
+		// come from the same possibly-stale index list on both sides).
+		pcols := []int{2, 1, s.schema.Key}
+		ppreds := []Pred{
+			{Idx: 0, Lo: sv, Hi: sv},
+			{Idx: 1, Lo: types.EncodeInt64(0), Hi: types.EncodeInt64(1 << 40)},
+		}
+		pA := oracleProbeFiltered(s, ts, 2, sv, pcols, ppreds)
+		var pGot []int64
+		if err := s.ProbeFiltered(ts, 2, sv, pcols, ppreds, func(vals []uint64) bool {
+			for _, v := range vals {
+				pGot = append(pGot, int64(v))
+			}
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		pB := oracleProbeFiltered(s, ts, 2, sv, pcols, ppreds)
+		if equalI64(pA, pB) && !equalI64(pGot, pA) {
+			t.Fatalf("iter %d: ProbeFiltered diverges: got %d values, want %d",
+				iter, len(pGot), len(pA))
+		}
 	}
 	close(stop)
 	wg.Wait()
@@ -346,6 +507,165 @@ func TestParallelScanRangeOrderAndEarlyStop(t *testing.T) {
 				t.Fatalf("stopAfter=%d: row %d key %d, want %d", stopAfter, i, seen[i], full[i*stride])
 			}
 		}
+	}
+}
+
+// TestFilteredPlansQuiesced: on a quiesced store (writers stopped, index
+// complete) the index-probe plan and the filtered bulk scan must produce
+// exactly the same rows for the same predicates, both matching the chain-walk
+// oracle; predicate windows over nulls and negations must behave; and a
+// false-returning ScanFiltered callback must stop after precisely the rows
+// seen so far.
+func TestFilteredPlansQuiesced(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		s := newTestStore(t, scanOracleConfig(workers))
+		const rows = 300
+		mustCommit(t, s, func(tx *txn.Txn) {
+			for i := int64(0); i < rows; i++ {
+				insertRow(t, s, tx, i, 10*i, i%7, 30*i)
+			}
+		})
+		// Null out col 1 of every 11th record; update col 2 of every 5th so
+		// stale index entries exist for the old value.
+		mustCommit(t, s, func(tx *txn.Txn) {
+			for i := int64(0); i < rows; i += 11 {
+				if err := s.Update(tx, i, []int{1}, []types.Value{types.NullValue()}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := int64(0); i < rows; i += 5 {
+				if err := s.Update(tx, i, []int{2}, []types.Value{types.IntValue((i + 1) % 7)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+		s.ForceMerge()
+		ts := s.tm.Now()
+
+		cols := []int{2, 1, s.schema.Key}
+		for k := int64(0); k < 7; k++ {
+			sv := types.EncodeInt64(k)
+			preds := []Pred{
+				{Idx: 0, Lo: sv, Hi: sv},
+				{Idx: 1, Lo: types.EncodeInt64(0), Hi: types.EncodeInt64(1 << 40)},
+			}
+			want := oracleFiltered(s, ts, cols, preds, 0, ^types.RID(0))
+			if got := engineFiltered(s, ts, cols, preds, 0, ^types.RID(0)); !equalI64(got, want) {
+				t.Fatalf("workers=%d k=%d: filtered scan diverges from oracle", workers, k)
+			}
+			var probe []int64
+			if err := s.ProbeFiltered(ts, 2, sv, cols, preds, func(vals []uint64) bool {
+				for _, v := range vals {
+					probe = append(probe, int64(v))
+				}
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if !equalI64(probe, want) {
+				t.Fatalf("workers=%d k=%d: probe plan != scan plan (%d vs %d values)",
+					workers, k, len(probe), len(want))
+			}
+		}
+
+		// IS NULL / IS NOT NULL windows on the nulled column.
+		isNull := []Pred{{Idx: 0, Lo: types.NullSlot, Hi: types.NullSlot}}
+		notNull := []Pred{{Idx: 0, Lo: types.NullSlot, Hi: types.NullSlot, Negate: true}}
+		ncols := []int{1, s.schema.Key}
+		nullRows := len(engineFiltered(s, ts, ncols, isNull, 0, ^types.RID(0))) / len(ncols)
+		liveRows := len(engineFiltered(s, ts, ncols, notNull, 0, ^types.RID(0))) / len(ncols)
+		wantNull := (rows + 10) / 11
+		if nullRows != wantNull || liveRows != rows-wantNull {
+			t.Fatalf("workers=%d: null split %d/%d, want %d/%d",
+				workers, nullRows, liveRows, wantNull, rows-wantNull)
+		}
+
+		// An unmatchable window yields nothing without touching rows.
+		none := []Pred{{Idx: 0, Lo: types.EncodeInt64(1 << 41), Hi: types.EncodeInt64(1 << 42)}}
+		if got := engineFiltered(s, ts, cols, none, 0, ^types.RID(0)); len(got) != 0 {
+			t.Fatalf("workers=%d: unmatchable predicate returned %d values", workers, len(got))
+		}
+
+		// Early stop: exactly stopAfter rows, in sequential order.
+		all := oracleFiltered(s, ts, cols, nil, 0, ^types.RID(0))
+		for _, stopAfter := range []int{1, 70, 150} {
+			var seen []int64
+			n := 0
+			s.ScanFiltered(ts, cols, nil, 0, ^types.RID(0), func(vals []uint64) bool {
+				seen = append(seen, int64(vals[len(vals)-1]))
+				n++
+				return n < stopAfter
+			})
+			if n != stopAfter {
+				t.Fatalf("workers=%d: early stop after %d rows delivered %d", workers, stopAfter, n)
+			}
+			for i := 0; i < n; i++ {
+				if seen[i] != all[i*len(cols)+len(cols)-1] {
+					t.Fatalf("workers=%d stopAfter=%d: row %d key %d, want %d",
+						workers, stopAfter, i, seen[i], all[i*len(cols)+len(cols)-1])
+				}
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestBareCountSeesUnmergedDeletes: a COUNT with no materialized columns is
+// the one plan whose readCols is empty — gatherCols degenerates to sentinel
+// TPS extrema there, so the merged fast path must be bypassed or deletes
+// newer than the last merge are wrongly served from merged pages
+// (regression: found by review of the query-API PR).
+func TestBareCountSeesUnmergedDeletes(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		s := newTestStore(t, scanOracleConfig(workers))
+		const rows = 256 // several ranges so the parallel dispatch engages
+		mustCommit(t, s, func(tx *txn.Txn) {
+			for i := int64(0); i < rows; i++ {
+				insertRow(t, s, tx, i, i, i%7, -i)
+			}
+		})
+		// Update every row so updatedBits is set and the merge publishes a
+		// Last Updated Time per slot, then delete some WITHOUT re-merging.
+		mustCommit(t, s, func(tx *txn.Txn) {
+			for i := int64(0); i < rows; i++ {
+				if err := s.Update(tx, i, []int{1}, []types.Value{types.IntValue(i + 100)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+		s.ForceMerge()
+		const deleted = 10
+		mustCommit(t, s, func(tx *txn.Txn) {
+			for i := int64(0); i < deleted; i++ {
+				if err := s.Delete(tx, i); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+		ts := s.tm.Now()
+		states := s.ScanAggregate(ts, nil, nil, []AggSpec{{Op: AggCount}}, 0, ^types.RID(0))
+		if got := states[0].Count; got != rows-deleted {
+			t.Fatalf("workers=%d: bare count = %d, want %d", workers, got, rows-deleted)
+		}
+		// Zero-width rows cannot ride the parallel staging buffers;
+		// ScanFiltered must fall back to the sequential path (a stride-0
+		// drain loop would spin forever) and still see the deletes.
+		var n int64
+		s.ScanFiltered(ts, nil, nil, 0, ^types.RID(0), func(vals []uint64) bool {
+			n++
+			return true
+		})
+		if n != rows-deleted {
+			t.Fatalf("workers=%d: zero-column ScanFiltered saw %d rows, want %d", workers, n, rows-deleted)
+		}
+		// The point face must agree when probed without columns.
+		var out [0]uint64
+		var cvs [0]*colVersion
+		loc, _ := s.locate(1)
+		if exists, _ := s.probeSlot(ts, loc.rng, loc.slot, nil, out[:], cvs[:]); exists {
+			t.Fatal("probeSlot with no columns served an unmerged-deleted slot")
+		}
+		s.Close()
 	}
 }
 

@@ -11,26 +11,54 @@
 // queryable — first through version chains, later through delta-compressed
 // history stores.
 //
-// Minimal usage:
+// Transactional writes:
 //
 //	db := lstore.Open()
 //	defer db.Close()
 //	tbl, _ := db.CreateTable("accounts", lstore.NewSchema("id",
 //		lstore.Column{Name: "id", Type: lstore.Int64},
+//		lstore.Column{Name: "region", Type: lstore.Int64},
 //		lstore.Column{Name: "balance", Type: lstore.Int64},
-//	))
+//	), lstore.TableOptions{SecondaryIndexes: []string{"region"}})
 //	tx := db.Begin(lstore.ReadCommitted)
-//	tbl.Insert(tx, lstore.Row{"id": lstore.Int(1), "balance": lstore.Int(100)})
+//	tbl.Insert(tx, lstore.Row{"id": lstore.Int(1), "region": lstore.Int(3), "balance": lstore.Int(100)})
 //	tx.Commit()
 //
-//	// Analytics run against consistent snapshots, never blocking writers:
-//	sum, _ := tbl.Sum(db.Now(), "balance")
+// Analytics go through the Query builder. A query reads one consistent
+// snapshot, never blocks writers, and compiles onto the columnar scan
+// engine: equality predicates on indexed columns become index point-probes,
+// everything else becomes a bulk scan with the predicates pushed down —
+// evaluated vectorized over the decoded column pages, before any row is
+// materialized:
 //
-// Time travel:
+//	// Filtered rows, streamed through a zero-allocation cursor:
+//	tbl.Query().
+//		Select("balance").
+//		Where(lstore.Eq("region", lstore.Int(3)), lstore.Gt("balance", lstore.Int(100))).
+//		Rows(func(r *lstore.RowView) bool {
+//			fmt.Println(r.Key(), r.Int("balance"))
+//			return true
+//		})
+//
+//	// Aggregates fold inside the engine, in one pass:
+//	res, _ := tbl.Query().
+//		Where(lstore.Between("balance", lstore.Int(0), lstore.Int(1000))).
+//		Aggregate(lstore.Sum("balance"), lstore.Count(), lstore.Max("balance"))
+//	total, n := res.Int(0), res.Rows(1)
+//
+//	// Keys and counts:
+//	keys, _ := tbl.Query().Where(lstore.Eq("region", lstore.Int(3))).Keys()
+//	hot, _ := tbl.Query().Where(lstore.Gt("balance", lstore.Int(900))).Count()
+//
+// Sum, Scan and FindBy remain as thin wrappers compiled onto the same
+// query plans.
+//
+// Time travel — pin any query or point read to an earlier snapshot:
 //
 //	then := db.Now()
 //	// ... more transactions ...
 //	old, ok, _ := tbl.GetAt(then, 1, "balance")
+//	res, _ = tbl.Query().At(then).Aggregate(lstore.Sum("balance"))
 package lstore
 
 import (
@@ -112,6 +140,20 @@ var ErrDuplicateKey = core.ErrDuplicateKey
 
 // ErrNotFound is returned by Update/Delete for a missing key.
 var ErrNotFound = core.ErrNotFound
+
+// ErrTypeMismatch is returned when a value does not match its column's
+// declared type — a String value against an Int64 column (or vice versa) in
+// Insert, Update, or a predicate constructor — and when a predicate or
+// aggregate requires an order the column cannot provide (Lt/Between/Min/...
+// on a String column). Values are type-checked at the API boundary; nothing
+// mistyped is ever stored or compared.
+var ErrTypeMismatch = core.ErrBadValue
+
+// ErrNoIndex is returned by FindBy for a column with no declared secondary
+// index (TableOptions.SecondaryIndexes). Query has no such requirement: an
+// equality predicate on an unindexed column simply plans as a filtered
+// scan instead of an index probe.
+var ErrNoIndex = core.ErrNoIndex
 
 // TableOptions tunes one table's storage.
 type TableOptions struct {

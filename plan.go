@@ -1,0 +1,234 @@
+package lstore
+
+import (
+	"fmt"
+	"math"
+
+	"lstore/internal/core"
+	"lstore/internal/types"
+)
+
+// This file is the query planner: it compiles a Query's projection,
+// predicates and aggregates into one of three physical plans over the
+// shared columnar scan engine (internal/core/scan.go):
+//
+//   - planProbe: an equality predicate on a column with a declared
+//     secondary index resolves through the engine's point face
+//     (ProbeFiltered → probeSlot). The probe predicate stays in the pushed
+//     predicate list — index entries may be stale (§3.1), so every
+//     candidate re-checks against its visible version.
+//   - planScan: everything else compiles onto the bulk face
+//     (ScanFiltered / ScanAggregate → rangeScanner) with the predicates
+//     pushed down as slot windows, evaluated vectorized over the decoded
+//     column pages before any row materialization.
+//   - planEmpty: a predicate that provably matches nothing (a string absent
+//     from the column dictionary, an inverted Between) short-circuits the
+//     whole query.
+
+type planKind uint8
+
+const (
+	planScan planKind = iota
+	planProbe
+	planEmpty
+)
+
+// queryPlan is one compiled query: the schema columns the engine must
+// materialize (projection first, then predicate/aggregate columns, then the
+// key when requested) and the predicates/aggregates re-indexed onto
+// positions within that column list.
+type queryPlan struct {
+	kind      planKind
+	readCols  []int
+	nProj     int
+	projNames []string
+	keyPos    int // position of the key column within readCols (-1 if absent)
+	preds     []core.Pred
+	aggs      []core.AggSpec
+	probeCol  int    // schema column of the index probe (planProbe only)
+	probeSlot uint64 // encoded probe value
+}
+
+// planQuery compiles a query. proj lists the projected column names (nil
+// for none), preds the predicates, aggs the aggregates; needKey forces the
+// key column into readCols (Rows and Keys deliver it).
+func (tb *Table) planQuery(proj []string, preds []Predicate, aggs []Agg, needKey bool) (*queryPlan, error) {
+	p := &queryPlan{kind: planScan, keyPos: -1, probeCol: -1}
+
+	for _, name := range proj {
+		ci := tb.schema.ColIndex(name)
+		if ci < 0 {
+			return nil, fmt.Errorf("lstore: table %q has no column %q", tb.name, name)
+		}
+		p.readCols = append(p.readCols, ci)
+		p.projNames = append(p.projNames, name)
+	}
+	p.nProj = len(p.readCols)
+
+	// posOf returns the position of schema column ci within readCols,
+	// appending it when absent. Predicate and aggregate columns may alias
+	// projection positions — the materialized data is identical.
+	posOf := func(ci int) int {
+		for i, c := range p.readCols {
+			if c == ci {
+				return i
+			}
+		}
+		p.readCols = append(p.readCols, ci)
+		return len(p.readCols) - 1
+	}
+
+	empty := false
+	for _, pr := range preds {
+		ci := tb.schema.ColIndex(pr.col)
+		if ci < 0 {
+			return nil, fmt.Errorf("lstore: table %q has no column %q", tb.name, pr.col)
+		}
+		lo, hi, negate, none, err := tb.compilePred(ci, pr)
+		if err != nil {
+			return nil, fmt.Errorf("lstore: predicate on column %q: %w", pr.col, err)
+		}
+		if none {
+			empty = true
+			continue // keep validating the remaining predicates
+		}
+		p.preds = append(p.preds, core.Pred{Idx: posOf(ci), Lo: lo, Hi: hi, Negate: negate})
+	}
+
+	for _, a := range aggs {
+		if a.op == core.AggCount {
+			p.aggs = append(p.aggs, core.AggSpec{Op: a.op})
+			continue
+		}
+		ci := tb.schema.ColIndex(a.col)
+		if ci < 0 {
+			return nil, fmt.Errorf("lstore: table %q has no column %q", tb.name, a.col)
+		}
+		if tb.schema.Cols[ci].Type != types.Int64 {
+			return nil, fmt.Errorf("lstore: aggregate over non-integer column %q: %w", a.col, ErrTypeMismatch)
+		}
+		p.aggs = append(p.aggs, core.AggSpec{Op: a.op, Idx: posOf(ci)})
+	}
+
+	if needKey {
+		p.keyPos = posOf(tb.schema.Key)
+	}
+	if len(p.readCols) == 0 {
+		// A bare COUNT is the only shape that materializes nothing. Plan the
+		// key column in anyway: the engine's zero-column path is correct but
+		// forfeits the merged fast path and the scan worker pool (stride-0
+		// rows cannot ride the parallel staging buffers), while one key
+		// column keeps word-at-a-time classification and fan-out.
+		posOf(tb.schema.Key)
+	}
+	if empty {
+		p.kind = planEmpty
+		return p, nil
+	}
+
+	// Index selection: the first point-equality predicate (a degenerate
+	// non-null window) on a column with a declared secondary index turns the
+	// whole query into scattered point probes instead of a table scan.
+	// IS NULL windows are ineligible — secondary indexes never hold nulls.
+	for i := range p.preds {
+		pr := p.preds[i]
+		if pr.Negate || pr.Lo != pr.Hi || pr.Lo == types.NullSlot {
+			continue
+		}
+		if ci := p.readCols[pr.Idx]; tb.store.HasSecondary(ci) {
+			p.kind = planProbe
+			p.probeCol = ci
+			p.probeSlot = pr.Lo
+			break
+		}
+	}
+	return p, nil
+}
+
+// compilePred lowers one predicate to an inclusive slot window [lo, hi]
+// (negate inverts it with null exclusion; see core.Pred). none reports a
+// predicate that provably matches no stored row. Int64 slot encoding is
+// order-preserving, so every comparison becomes a window; String columns
+// admit only (in)equality and null tests.
+func (tb *Table) compilePred(ci int, pr Predicate) (lo, hi uint64, negate, none bool, err error) {
+	switch pr.op {
+	case opIsNull:
+		return types.NullSlot, types.NullSlot, false, false, nil
+	case opNotNull:
+		return types.NullSlot, types.NullSlot, true, false, nil
+	}
+
+	ordered := pr.op != opEq && pr.op != opNe
+	if ordered && tb.schema.Cols[ci].Type != types.Int64 {
+		return 0, 0, false, false, fmt.Errorf("ordered comparison on %s column: %w",
+			tb.schema.Cols[ci].Type, ErrTypeMismatch)
+	}
+	if ordered && (pr.v.IsNull() || (pr.op == opBetween && pr.v2.IsNull())) {
+		return 0, 0, false, false, fmt.Errorf("null operand in ordered comparison: %w", ErrTypeMismatch)
+	}
+
+	// math.MaxInt64 is not storable (its encoding would collide with the
+	// implicit null, so the write path rejects it); predicates mentioning it
+	// lower to what the collision-free universe implies instead of comparing
+	// a saturated encoding.
+	isMax := func(v Value) bool {
+		return !v.IsNull() && v.Kind() == types.Int64 && v.Int() == math.MaxInt64
+	}
+	if tb.schema.Cols[ci].Type == types.Int64 && isMax(pr.v) {
+		switch pr.op {
+		case opEq, opGt, opGe:
+			return 0, 0, false, true, nil // nothing stored equals or exceeds it
+		case opNe:
+			return types.NullSlot, types.NullSlot, true, false, nil // every non-null differs
+		case opLt, opLe:
+			return 0, types.NullSlot - 1, false, false, nil // everything storable is below
+		case opBetween:
+			return 0, 0, false, true, nil // lo above every storable value
+		}
+	}
+
+	sv, ok, err := tb.store.LookupSlot(ci, pr.v)
+	if err != nil {
+		return 0, 0, false, false, err // ErrBadValue == ErrTypeMismatch
+	}
+
+	switch pr.op {
+	case opEq:
+		// Eq(Null) encodes to the IS NULL window [∅, ∅] naturally.
+		return sv, sv, false, !ok, nil
+	case opNe:
+		if !ok {
+			// The operand is absent from the dictionary: every non-null
+			// value differs, which is exactly IS NOT NULL.
+			return types.NullSlot, types.NullSlot, true, false, nil
+		}
+		return sv, sv, true, false, nil
+	case opLt:
+		if sv == 0 {
+			return 0, 0, false, true, nil // nothing below the minimum encoding
+		}
+		return 0, sv - 1, false, false, nil
+	case opLe:
+		return 0, sv, false, false, nil
+	case opGt:
+		if sv >= types.NullSlot-1 {
+			return 0, 0, false, true, nil // nothing above the maximum encoding
+		}
+		return sv + 1, types.NullSlot - 1, false, false, nil
+	case opGe:
+		return sv, types.NullSlot - 1, false, false, nil
+	case opBetween:
+		if isMax(pr.v2) { // BETWEEN lo AND MaxInt64 = everything from lo up
+			return sv, types.NullSlot - 1, false, false, nil
+		}
+		sv2, ok2, err := tb.store.LookupSlot(ci, pr.v2)
+		if err != nil {
+			return 0, 0, false, false, err
+		}
+		if !ok || !ok2 || sv > sv2 {
+			return 0, 0, false, true, nil // inverted or unmatchable window
+		}
+		return sv, sv2, false, false, nil
+	}
+	return 0, 0, false, false, fmt.Errorf("unknown predicate op %d", pr.op)
+}

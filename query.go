@@ -1,0 +1,324 @@
+package lstore
+
+import (
+	"fmt"
+
+	"lstore/internal/core"
+	"lstore/internal/types"
+)
+
+// Query is a composable read over one table. Build one with Table.Query,
+// shape it with Select / Where / At, and run it with a terminal verb:
+//
+//	err := tbl.Query().
+//		Select("balance", "region").
+//		Where(lstore.Eq("region", lstore.Int(3)), lstore.Between("balance", lstore.Int(0), lstore.Int(100))).
+//		At(ts).
+//		Rows(func(r *lstore.RowView) bool {
+//			total += r.Int("balance")
+//			return true
+//		})
+//
+// Every terminal compiles the query into a plan over the shared columnar
+// scan engine: equality predicates on columns with declared secondary
+// indexes become index point-probes, and everything else becomes a bulk
+// scan with the predicates pushed down — evaluated vectorized over the
+// decoded column pages before any row materialization. Predicates combine
+// with AND. A Query reads a consistent snapshot (At, or the current time)
+// and never blocks writers.
+//
+// A Query is not safe for concurrent use; build one per goroutine.
+type Query struct {
+	tbl   *Table
+	cols  []string
+	preds []Predicate
+	ts    Timestamp
+	tsSet bool
+}
+
+// Query starts a read over the table.
+func (tb *Table) Query() *Query { return &Query{tbl: tb} }
+
+// Select adds projected columns (Rows materializes exactly these, in this
+// order). A query that never calls Select projects every column. Keys,
+// Count and Aggregate ignore the projection.
+func (q *Query) Select(cols ...string) *Query {
+	q.cols = append(q.cols, cols...)
+	return q
+}
+
+// Where adds predicates; all predicates must hold (AND).
+func (q *Query) Where(preds ...Predicate) *Query {
+	q.preds = append(q.preds, preds...)
+	return q
+}
+
+// At pins the query's snapshot. Without At, each terminal reads the current
+// time when it runs.
+func (q *Query) At(ts Timestamp) *Query {
+	q.ts = ts
+	q.tsSet = true
+	return q
+}
+
+func (q *Query) snapshot() Timestamp {
+	if q.tsSet {
+		return q.ts
+	}
+	return q.tbl.db.Now()
+}
+
+// Rows streams every matching record in primary-RID order through fn; fn
+// returning false stops the query. The *RowView is a zero-allocation cursor
+// valid only inside the callback — its accessors decode lazily from the
+// engine's pooled scratch, and the underlying row is overwritten after fn
+// returns (call RowView.Row to materialize a copy).
+func (q *Query) Rows(fn func(r *RowView) bool) error {
+	proj := q.cols
+	if len(proj) == 0 {
+		proj = q.tbl.Columns()
+	}
+	p, err := q.tbl.planQuery(proj, q.preds, nil, true)
+	if err != nil {
+		return err
+	}
+	if p.kind == planEmpty {
+		return nil
+	}
+	ts := q.snapshot()
+	rv := RowView{
+		tbl:   q.tbl,
+		cols:  p.readCols[:p.nProj],
+		names: p.projNames,
+	}
+	emit := func(vals []uint64) bool {
+		rv.vals = vals
+		rv.key = types.DecodeInt64(vals[p.keyPos])
+		return fn(&rv)
+	}
+	if p.kind == planProbe {
+		return q.tbl.store.ProbeFiltered(ts, p.probeCol, p.probeSlot, p.readCols, p.preds, emit)
+	}
+	q.tbl.store.ScanFiltered(ts, p.readCols, p.preds, 0, ^types.RID(0), emit)
+	return nil
+}
+
+// Keys returns the primary keys of every matching record, in primary-RID
+// order.
+func (q *Query) Keys() ([]int64, error) {
+	p, err := q.tbl.planQuery(nil, q.preds, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	if p.kind == planEmpty {
+		return nil, nil
+	}
+	ts := q.snapshot()
+	var keys []int64
+	emit := func(vals []uint64) bool {
+		keys = append(keys, types.DecodeInt64(vals[p.keyPos]))
+		return true
+	}
+	if p.kind == planProbe {
+		// Evaluate the probe before reading keys: the emit closure appends
+		// to it, and Go does not order the return operands.
+		err := q.tbl.store.ProbeFiltered(ts, p.probeCol, p.probeSlot, p.readCols, p.preds, emit)
+		return keys, err
+	}
+	q.tbl.store.ScanFiltered(ts, p.readCols, p.preds, 0, ^types.RID(0), emit)
+	return keys, nil
+}
+
+// Count returns the number of matching records.
+func (q *Query) Count() (int64, error) {
+	res, err := q.Aggregate(Count())
+	if err != nil {
+		return 0, err
+	}
+	return res.Rows(0), nil
+}
+
+// Aggregate computes the requested aggregates over the matching records in
+// one pass through the engine's aggregate kernels (bulk plans fan the fold
+// across the scan worker pool and merge exact integer partials, so results
+// are deterministic).
+func (q *Query) Aggregate(aggs ...Agg) (AggResult, error) {
+	if len(aggs) == 0 {
+		return AggResult{}, fmt.Errorf("lstore: Aggregate with no aggregates")
+	}
+	p, err := q.tbl.planQuery(nil, q.preds, aggs, false)
+	if err != nil {
+		return AggResult{}, err
+	}
+	res := AggResult{
+		tbl:    q.tbl,
+		aggs:   aggs,
+		cols:   make([]int, len(aggs)),
+		states: make([]core.AggState, len(aggs)),
+	}
+	for i, sp := range p.aggs {
+		if sp.Op == core.AggCount {
+			res.cols[i] = -1
+		} else {
+			res.cols[i] = p.readCols[sp.Idx]
+		}
+	}
+	if p.kind == planEmpty {
+		return res, nil
+	}
+	ts := q.snapshot()
+	if p.kind == planProbe {
+		err := q.tbl.store.ProbeFiltered(ts, p.probeCol, p.probeSlot, p.readCols, p.preds, func(vals []uint64) bool {
+			core.FoldAgg(res.states, p.aggs, vals)
+			return true
+		})
+		return res, err
+	}
+	res.states = q.tbl.store.ScanAggregate(ts, p.readCols, p.preds, p.aggs, 0, ^types.RID(0))
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Aggregates
+
+// Agg names one aggregate for Query.Aggregate; build with Sum, Count, Min,
+// Max.
+type Agg struct {
+	op  core.AggOp
+	col string
+}
+
+// Sum aggregates SUM(col) over matching rows (col must be Int64; nulls are
+// skipped).
+func Sum(col string) Agg { return Agg{op: core.AggSum, col: col} }
+
+// Count counts matching rows.
+func Count() Agg { return Agg{op: core.AggCount} }
+
+// Min aggregates MIN(col) over matching rows (col must be Int64; nulls are
+// skipped).
+func Min(col string) Agg { return Agg{op: core.AggMin, col: col} }
+
+// Max aggregates MAX(col) over matching rows (col must be Int64; nulls are
+// skipped).
+func Max(col string) Agg { return Agg{op: core.AggMax, col: col} }
+
+// AggResult holds Query.Aggregate's results, indexed by the order the
+// aggregates were requested.
+type AggResult struct {
+	tbl    *Table
+	aggs   []Agg
+	cols   []int // schema column per aggregate (-1 for Count)
+	states []core.AggState
+}
+
+// Len returns the number of aggregates.
+func (ar AggResult) Len() int { return len(ar.aggs) }
+
+// Rows returns how many rows contributed to aggregate i: matched rows for
+// Count, non-null values for Sum/Min/Max.
+func (ar AggResult) Rows(i int) int64 { return ar.states[i].Count }
+
+// Int returns aggregate i as an int64: the sum, the count, or the min/max
+// value (0 when no non-null value contributed — check Rows or Value).
+func (ar AggResult) Int(i int) int64 {
+	st := ar.states[i]
+	switch ar.aggs[i].op {
+	case core.AggCount:
+		return st.Count
+	case core.AggSum:
+		return st.Sum
+	case core.AggMin:
+		if !st.Seen {
+			return 0
+		}
+		return types.DecodeInt64(st.MinSlot)
+	case core.AggMax:
+		if !st.Seen {
+			return 0
+		}
+		return types.DecodeInt64(st.MaxSlot)
+	}
+	return 0
+}
+
+// Value returns aggregate i as a typed Value; Min/Max over zero contributing
+// rows yield Null.
+func (ar AggResult) Value(i int) Value {
+	st := ar.states[i]
+	switch ar.aggs[i].op {
+	case core.AggCount:
+		return Int(st.Count)
+	case core.AggSum:
+		return Int(st.Sum)
+	case core.AggMin:
+		if !st.Seen {
+			return Null()
+		}
+		return ar.tbl.store.DecodeSlot(ar.cols[i], st.MinSlot)
+	case core.AggMax:
+		if !st.Seen {
+			return Null()
+		}
+		return ar.tbl.store.DecodeSlot(ar.cols[i], st.MaxSlot)
+	}
+	return Null()
+}
+
+// ---------------------------------------------------------------------------
+// Predicates
+
+type predOp uint8
+
+const (
+	opEq predOp = iota
+	opNe
+	opLt
+	opLe
+	opGt
+	opGe
+	opBetween
+	opIsNull
+	opNotNull
+)
+
+// Predicate is one condition over a column; build with Eq, Ne, Lt, Le, Gt,
+// Ge, Between, IsNull or NotNull. Predicates are type-checked against the
+// schema when the query is planned: a String value against an Int64 column
+// (or vice versa) fails with ErrTypeMismatch, as do ordered comparisons on
+// String columns (dictionary codes carry no order).
+type Predicate struct {
+	col   string
+	op    predOp
+	v, v2 Value
+}
+
+// Eq matches rows whose col equals v. Eq with Null matches IS NULL.
+func Eq(col string, v Value) Predicate { return Predicate{col: col, op: opEq, v: v} }
+
+// Ne matches rows whose col differs from v; null never matches (except
+// Ne with Null, which matches IS NOT NULL).
+func Ne(col string, v Value) Predicate { return Predicate{col: col, op: opNe, v: v} }
+
+// Lt matches rows whose Int64 col is strictly below v.
+func Lt(col string, v Value) Predicate { return Predicate{col: col, op: opLt, v: v} }
+
+// Le matches rows whose Int64 col is at most v.
+func Le(col string, v Value) Predicate { return Predicate{col: col, op: opLe, v: v} }
+
+// Gt matches rows whose Int64 col is strictly above v.
+func Gt(col string, v Value) Predicate { return Predicate{col: col, op: opGt, v: v} }
+
+// Ge matches rows whose Int64 col is at least v.
+func Ge(col string, v Value) Predicate { return Predicate{col: col, op: opGe, v: v} }
+
+// Between matches rows whose Int64 col lies in [lo, hi] (inclusive).
+func Between(col string, lo, hi Value) Predicate {
+	return Predicate{col: col, op: opBetween, v: lo, v2: hi}
+}
+
+// IsNull matches rows whose col is null.
+func IsNull(col string) Predicate { return Predicate{col: col, op: opIsNull} }
+
+// NotNull matches rows whose col is not null.
+func NotNull(col string) Predicate { return Predicate{col: col, op: opNotNull} }

@@ -1,0 +1,74 @@
+package lstore
+
+import "fmt"
+
+// RowView is the zero-allocation row cursor Query.Rows streams matching
+// records through. Its accessors decode lazily, column by column, straight
+// from the scan engine's pooled scratch — no per-row map, no per-row Value
+// slice. A view is only valid inside the callback that received it: the
+// underlying buffer is overwritten for the next row. Call Row to
+// materialize an independent copy.
+//
+// Accessors address projected columns by name (the names passed to Select,
+// or every schema column when Select was not called) or by projection
+// position. Addressing a column outside the projection panics — it is a
+// programming error on par with an out-of-range index, and silently
+// returning zero would corrupt analytics.
+type RowView struct {
+	tbl   *Table
+	cols  []int    // schema column index per projected column
+	names []string // projected column names, aligned with cols
+	vals  []uint64 // current row's slot-encoded values (projection prefix)
+	key   int64
+}
+
+// Key returns the record's primary key.
+func (rv *RowView) Key() int64 { return rv.key }
+
+// NumCols returns the number of projected columns.
+func (rv *RowView) NumCols() int { return len(rv.cols) }
+
+// Name returns the name of projected column i.
+func (rv *RowView) Name(i int) string { return rv.names[i] }
+
+// ValueAt decodes projected column i.
+func (rv *RowView) ValueAt(i int) Value {
+	return rv.tbl.store.DecodeSlot(rv.cols[i], rv.vals[i])
+}
+
+// IntAt returns projected column i as an int64 (0 when null or non-integer).
+func (rv *RowView) IntAt(i int) int64 { return rv.ValueAt(i).Int() }
+
+// StrAt returns projected column i as a string ("" when null or integer).
+func (rv *RowView) StrAt(i int) string { return rv.ValueAt(i).Str() }
+
+func (rv *RowView) pos(name string) int {
+	for i, n := range rv.names {
+		if n == name {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("lstore: RowView has no projected column %q (projection: %v)", name, rv.names))
+}
+
+// Value decodes the named projected column.
+func (rv *RowView) Value(name string) Value { return rv.ValueAt(rv.pos(name)) }
+
+// Int returns the named projected column as an int64 (0 when null).
+func (rv *RowView) Int(name string) int64 { return rv.ValueAt(rv.pos(name)).Int() }
+
+// Str returns the named projected column as a string ("" when null).
+func (rv *RowView) Str(name string) string { return rv.ValueAt(rv.pos(name)).Str() }
+
+// IsNull reports whether the named projected column is null.
+func (rv *RowView) IsNull(name string) bool { return rv.ValueAt(rv.pos(name)).IsNull() }
+
+// Row materializes the projection as an independent Row map (this
+// allocates; hot paths should use the lazy accessors instead).
+func (rv *RowView) Row() Row {
+	row := make(Row, len(rv.cols))
+	for i, name := range rv.names {
+		row[name] = rv.ValueAt(i)
+	}
+	return row
+}

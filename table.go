@@ -167,44 +167,54 @@ func (tb *Table) makeRow(idx []int, vals []Value) Row {
 }
 
 // Sum computes SUM(col) over live records as of ts (snapshot semantics);
-// rows is the number of contributing records. The scan rides the shared
-// columnar scan engine: sealed ranges are bulk-decoded once and fanned out
-// across the table's scan worker pool (TableOptions.ScanWorkers).
+// rows is the number of contributing records. A thin wrapper over the
+// Query aggregate plan: the fold runs inside the shared columnar scan
+// engine, fanned across the table's scan worker pool
+// (TableOptions.ScanWorkers).
 func (tb *Table) Sum(ts Timestamp, col string) (sum int64, rows int64, err error) {
-	ci := tb.schema.ColIndex(col)
-	if ci < 0 {
-		return 0, 0, fmt.Errorf("lstore: table %q has no column %q", tb.name, col)
+	res, err := tb.Query().At(ts).Aggregate(Sum(col))
+	if err != nil {
+		return 0, 0, err
 	}
-	if tb.schema.Cols[ci].Type != types.Int64 {
-		return 0, 0, fmt.Errorf("lstore: Sum over non-integer column %q", col)
-	}
-	s, r := tb.store.ScanSum(ts, ci)
-	return s, r, nil
+	return res.Int(0), res.Rows(0), nil
 }
 
 // Scan applies fn to every live record as of ts, in primary-RID order; fn
-// returning false stops. With ScanWorkers > 1 ranges are scanned
+// returning false stops. A thin wrapper over the unfiltered Query scan plan
+// that materializes a Row map per record — filtering callers should use
+// Query directly, whose pushed-down predicates skip non-matching rows
+// before any materialization. With ScanWorkers > 1 ranges are scanned
 // concurrently, but fn always runs on the calling goroutine and observes
 // exactly the sequential row order.
 func (tb *Table) Scan(ts Timestamp, cols []string, fn func(key int64, row Row) bool) error {
-	idx, err := tb.colIndexes(cols)
-	if err != nil {
-		return err
+	q := tb.Query().At(ts)
+	if len(cols) > 0 {
+		q.Select(cols...)
 	}
-	tb.store.ScanRange(ts, idx, 0, ^types.RID(0), func(key int64, vals []Value) bool {
-		return fn(key, tb.makeRow(idx, vals))
+	return q.Rows(func(rv *RowView) bool {
+		return fn(rv.Key(), rv.Row())
 	})
-	return nil
 }
 
-// FindBy returns the keys of records whose col equals v as of ts, via the
-// column's secondary index (which must have been declared in TableOptions).
+// FindBy returns the keys of records whose col equals v as of ts — a thin
+// wrapper over the Query index-probe plan. The column must carry a declared
+// secondary index (TableOptions.SecondaryIndexes) or FindBy fails with
+// ErrNoIndex; Query with an Eq predicate instead falls back to a filtered
+// scan when no index exists.
 func (tb *Table) FindBy(ts Timestamp, col string, v Value) ([]int64, error) {
 	ci := tb.schema.ColIndex(col)
 	if ci < 0 {
 		return nil, fmt.Errorf("lstore: table %q has no column %q", tb.name, col)
 	}
-	return tb.store.LookupSecondary(ts, ci, v)
+	if !tb.store.HasSecondary(ci) {
+		return nil, fmt.Errorf("lstore: table %q column %q: %w", tb.name, col, ErrNoIndex)
+	}
+	if v.IsNull() {
+		// Secondary indexes never hold nulls, so the probe was always empty;
+		// do not fall into Query's IS NULL scan semantics.
+		return nil, nil
+	}
+	return tb.Query().At(ts).Where(Eq(col, v)).Keys()
 }
 
 // Merge synchronously consolidates every range's committed tail backlog
