@@ -9,9 +9,11 @@
 // Experiments: fig7a fig7b fig7c (scalability under low/medium/high
 // contention), fig8 (scan time vs merge batch), table7 (scan comparison),
 // fig9a fig9b (read/write-ratio sweeps), fig10a fig10c (mixed OLTP+OLAP),
-// table8 (row vs column scans), table9 (row vs column point reads), and
+// table8 (row vs column scans), table9 (row vs column point reads),
 // query (the unified Query API: predicate pushdown and filtered aggregates
-// vs callback filtering, swept over selectivity).
+// vs callback filtering, swept over selectivity), and recover (restart
+// time after a simulated crash: full-log replay vs checkpoint + log tail,
+// swept over tail length).
 package main
 
 import (

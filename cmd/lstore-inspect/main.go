@@ -1,18 +1,21 @@
 // lstore-inspect runs a short self-contained workload and dumps the
 // storage internals it produced: per-range TPS lineage, tail backlog,
-// merge/compression counters and the epoch-reclamation state. It is a
-// window into the lineage architecture rather than a benchmark.
+// merge/compression counters, WAL/checkpoint LSN state and the
+// epoch-reclamation state. It is a window into the lineage architecture
+// rather than a benchmark.
 //
 // Usage: go run ./cmd/lstore-inspect [-rows 8192] [-updates 20000]
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 
 	"lstore"
+	"lstore/internal/wal"
 )
 
 func main() {
@@ -23,7 +26,8 @@ func main() {
 	)
 	flag.Parse()
 
-	db := lstore.Open()
+	sink := &wal.BufferSink{}
+	db := lstore.Open(lstore.WithWAL(sink, nil))
 	defer db.Close()
 	tbl, err := db.CreateTable("t", lstore.NewSchema("id",
 		lstore.Column{Name: "id", Type: lstore.Int64},
@@ -89,6 +93,26 @@ func main() {
 		st.Merges, st.MergedTailRecords, st.HistoryPasses, st.HistoryRecords)
 	fmt.Printf("merge-lag: backlog=%d queue-depth=%d workers=%d\n", st.MergeBacklog, st.MergeQueueDepth, st.MergeWorkers)
 	fmt.Printf("pages retired=%d reclaimed=%d\n", st.PagesRetired, st.PagesReclaimed)
+
+	// Durability state: log growth, then a checkpoint and the truncation it
+	// unlocks — restart cost becomes checkpoint + tail, not total history.
+	wi := db.WALInfo()
+	fmt.Printf("\n== WAL / checkpoint state ==\n")
+	fmt.Printf("before checkpoint: appended=%d flushed-lsn=%d syncs=%d log-bytes=%d\n",
+		wi.Appended, wi.FlushedLSN, wi.Syncs, sink.Len())
+	var ckpt bytes.Buffer
+	info, err := db.Checkpoint(&ckpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint: watermark-lsn=%d ts=%d tables=%d rows=%d image-bytes=%d\n",
+		info.LSN, info.Time, info.Tables, info.Rows, ckpt.Len())
+	if _, err := db.TruncateWAL(info.LSN); err != nil {
+		log.Fatal(err)
+	}
+	wi = db.WALInfo()
+	fmt.Printf("after truncation: truncated-to-lsn=%d retained-log-bytes=%d\n",
+		wi.TruncatedLSN, sink.Len())
 
 	sum, live, _ := tbl.Sum(db.Now(), "a")
 	fmt.Printf("\nfinal: rows=%d sum(a)=%d\n", live, sum)

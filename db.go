@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"lstore/internal/core"
 	"lstore/internal/epoch"
@@ -23,7 +24,41 @@ type DB struct {
 	byID   []*Table
 	logger *wal.Logger
 	closed bool
+
+	// commitMu gates the window between a transaction's in-memory commit
+	// and its WAL commit record against Checkpoint's (timestamp, LSN) cut:
+	// committers hold it shared across both steps, a checkpoint holds it
+	// exclusively while capturing its read timestamp and log watermark, so
+	// commit time <= checkpoint time iff commit LSN <= watermark — the
+	// invariant that makes checkpoint + log-tail replay exactly-once.
+	commitMu sync.RWMutex
+
+	// txnLog tracks each logged transaction's begin and commit record LSNs
+	// (commit 0 while active), maintained only when the WAL sink can
+	// truncate. Truncation must never discard the operation records of a
+	// transaction whose commit record survives above the truncation point:
+	// neither a still-active transaction's, nor — the subtle case — one
+	// whose operations landed below a checkpoint watermark but whose commit
+	// record landed above it (it is in the log tail, not the image).
+	// Entries are pruned once a truncation covers their commit record.
+	activeMu sync.Mutex
+	txnLog   map[uint64]txnLSNs
+
+	// ckptRoundMu serializes whole checkpoint rounds against Recover: a
+	// checkpoint cut mid-restore would capture a half-loaded image and
+	// could truncate the re-logged records out from under it.
+	ckptRoundMu sync.Mutex
+
+	// Background checkpointer (WithCheckpointEvery).
+	ckptEvery time.Duration
+	ckptSink  CheckpointSink
+	ckptStop  chan struct{}
+	ckptDone  chan struct{}
+	ckptOnce  sync.Once
 }
+
+// txnLSNs is one logged transaction's begin/commit record LSNs.
+type txnLSNs struct{ begin, commit uint64 }
 
 // Option configures Open.
 type Option func(*DB)
@@ -31,9 +66,69 @@ type Option func(*DB)
 // WithWAL attaches a redo-only write-ahead log: every committed
 // transaction's operations become durable at its commit record (group
 // commit). Replay a captured log with Recover. syncFn, if non-nil, runs at
-// each flush (an fsync stand-in).
+// each flush (an fsync stand-in). A sink that implements
+// wal.TruncatableSink (e.g. *wal.BufferSink) additionally enables log
+// truncation at checkpoint watermarks (TruncateWAL, the background
+// checkpointer) so the log stops growing without bound.
 func WithWAL(sink io.Writer, syncFn func()) Option {
 	return func(db *DB) { db.logger = wal.NewLogger(sink, syncFn) }
+}
+
+// TruncatableSink is a WAL sink that can discard a durable prefix — the
+// capability TruncateWAL and the background checkpointer need. A
+// file-backed implementation would delete sealed segment files below the
+// watermark; WALBuffer is the ready-made in-memory implementation.
+type TruncatableSink = wal.TruncatableSink
+
+// WALBuffer is an in-memory, truncatable WAL sink (an alias for the wal
+// package's BufferSink): pass one to WithWAL to get bounded-log behavior,
+// read it back through Reader()/Bytes() for recovery.
+type WALBuffer = wal.BufferSink
+
+// ErrWALNotTruncatable is returned by TruncateWAL when the WAL sink cannot
+// discard a prefix (it does not implement TruncatableSink).
+var ErrWALNotTruncatable = wal.ErrNotTruncatable
+
+// TruncateWAL discards the attached log's durable prefix up to lsn
+// (typically a checkpoint's LSN watermark), bounded by the begin LSN of
+// the oldest still-active transaction so no live transaction loses
+// operation records. It returns the watermark actually used. The WAL sink
+// must support prefix disposal (wal.ErrNotTruncatable otherwise).
+func (db *DB) TruncateWAL(lsn uint64) (uint64, error) {
+	if db.logger == nil {
+		return 0, fmt.Errorf("lstore: no WAL attached")
+	}
+	safe := db.safeTruncationLSN(lsn)
+	if err := db.logger.TruncateTo(safe); err != nil {
+		return 0, err
+	}
+	db.pruneTxnLog(safe)
+	return safe, nil
+}
+
+// WALInfo is a snapshot of the attached log's state (introspection).
+type WALInfo struct {
+	Attached     bool
+	Appended     int    // records appended so far
+	FlushedLSN   uint64 // highest durable LSN
+	TruncatedLSN uint64 // highest LSN discarded by truncation (0 = none)
+	Syncs        int    // flush count (group-commit effectiveness)
+	Err          error  // sticky poisoning error, nil while healthy
+}
+
+// WALInfo reports the attached log's state; the zero WALInfo when no WAL.
+func (db *DB) WALInfo() WALInfo {
+	if db.logger == nil {
+		return WALInfo{}
+	}
+	return WALInfo{
+		Attached:     true,
+		Appended:     db.logger.Appended(),
+		FlushedLSN:   db.logger.FlushedLSN(),
+		TruncatedLSN: db.logger.TruncatedLSN(),
+		Syncs:        db.logger.Syncs(),
+		Err:          db.logger.Err(),
+	}
 }
 
 // Open creates an empty in-memory database.
@@ -42,15 +137,23 @@ func Open(opts ...Option) *DB {
 		tm:     txn.NewManager(),
 		em:     epoch.NewManager(),
 		tables: make(map[string]*Table),
+		txnLog: make(map[uint64]txnLSNs),
 	}
 	for _, o := range opts {
 		o(db)
 	}
+	if db.ckptEvery > 0 && db.ckptSink != nil {
+		db.ckptStop = make(chan struct{})
+		db.ckptDone = make(chan struct{})
+		go db.checkpointLoop()
+	}
 	return db
 }
 
-// Close stops every table's background merge worker.
+// Close stops the background checkpointer and every table's background
+// merge worker.
 func (db *DB) Close() {
+	db.stopCheckpointer()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -60,6 +163,16 @@ func (db *DB) Close() {
 	for _, t := range db.tables {
 		t.store.Close()
 	}
+}
+
+func (db *DB) stopCheckpointer() {
+	if db.ckptStop == nil {
+		return
+	}
+	db.ckptOnce.Do(func() {
+		close(db.ckptStop)
+		<-db.ckptDone
+	})
 }
 
 // CreateTable creates a table with the given schema.
@@ -132,10 +245,85 @@ func (db *DB) Now() Timestamp { return db.tm.Now() }
 // Begin starts a transaction.
 func (db *DB) Begin(level IsolationLevel) *Txn {
 	t := db.tm.Begin(level)
+	tx := &Txn{db: db, inner: t}
 	if db.logger != nil {
-		db.logger.Append(wal.Record{Kind: wal.KindBegin, TxnID: t.ID}) //nolint:errcheck
+		lsn, err := db.logger.Append(wal.Record{Kind: wal.KindBegin, TxnID: t.ID})
+		if err != nil {
+			// The log rejected the begin record (failing or poisoned
+			// device): poison the transaction so Commit aborts it instead
+			// of producing a commit record for operations the log never saw.
+			tx.walErr = fmt.Errorf("lstore: WAL append failed: %w", err)
+		} else {
+			db.trackBegin(t.ID, lsn)
+		}
 	}
-	return &Txn{db: db, inner: t}
+	return tx
+}
+
+// trackBegin records a transaction's begin-record LSN. Tracking only
+// matters — and is only paid for — when the sink can truncate.
+func (db *DB) trackBegin(id, lsn uint64) {
+	if !db.logger.Truncatable() {
+		return
+	}
+	db.activeMu.Lock()
+	db.txnLog[id] = txnLSNs{begin: lsn}
+	db.activeMu.Unlock()
+}
+
+// forgetTxn drops a transaction whose records can never replay (aborted,
+// or its commit record failed to append).
+func (db *DB) forgetTxn(id uint64) {
+	if db.logger == nil {
+		return
+	}
+	db.activeMu.Lock()
+	delete(db.txnLog, id)
+	db.activeMu.Unlock()
+}
+
+// noteCommitLSN records a committed transaction's commit-record LSN. The
+// entry must survive until a truncation covers the commit record — see
+// safeTruncationLSN — and is pruned by TruncateWAL.
+func (db *DB) noteCommitLSN(id, lsn uint64) {
+	db.activeMu.Lock()
+	if tl, ok := db.txnLog[id]; ok {
+		tl.commit = lsn
+		db.txnLog[id] = tl
+	}
+	db.activeMu.Unlock()
+}
+
+// safeTruncationLSN bounds a truncation point by the begin LSN of every
+// transaction whose commit record is NOT covered by it: still-active
+// transactions (their commit record would resurrect a partial transaction
+// whose ops were truncated) and transactions already committed above the
+// point (their commit record survives in the tail and must find its ops).
+func (db *DB) safeTruncationLSN(lsn uint64) uint64 {
+	db.activeMu.Lock()
+	defer db.activeMu.Unlock()
+	safe := lsn
+	for _, tl := range db.txnLog {
+		if tl.commit != 0 && tl.commit <= lsn {
+			continue // every record of this txn is below the point
+		}
+		if tl.begin-1 < safe {
+			safe = tl.begin - 1
+		}
+	}
+	return safe
+}
+
+// pruneTxnLog forgets transactions whose records were all discarded by a
+// truncation at safe.
+func (db *DB) pruneTxnLog(safe uint64) {
+	db.activeMu.Lock()
+	for id, tl := range db.txnLog {
+		if tl.commit != 0 && tl.commit <= safe {
+			delete(db.txnLog, id)
+		}
+	}
+	db.activeMu.Unlock()
 }
 
 // ErrDurabilityUnknown wraps a WAL failure at the commit point: the
@@ -151,29 +339,69 @@ type Txn struct {
 	db        *DB
 	inner     *txn.Txn
 	committed bool // in-memory commit point passed; Abort becomes a no-op
+	// walErr poisons the transaction: some of its log records (begin or an
+	// operation) failed to append, so a commit record must never follow —
+	// replay would resurrect the transaction with operations missing.
+	// Commit aborts a poisoned transaction instead.
+	walErr error
+}
+
+// poisonWAL records a WAL append failure on the transaction and returns the
+// error the caller should surface. The in-memory operation already applied
+// (append-only storage has no in-place undo), but its log record did not;
+// the poisoned transaction's Commit aborts, turning those in-memory effects
+// into invisible tombstones — the transaction vanishes atomically.
+func (t *Txn) poisonWAL(err error) error {
+	if t.walErr == nil {
+		t.walErr = fmt.Errorf("lstore: WAL append failed: %w", err)
+	}
+	return t.walErr
 }
 
 // Commit validates (per isolation level) and commits. On ErrConflict the
 // transaction has been aborted and may be retried by the caller. An error
 // wrapping ErrDurabilityUnknown means the in-memory commit succeeded but the
-// WAL append failed — the effects are visible and irrevocable, only their
-// durability is in doubt.
+// WAL append failed at the commit record — the effects are visible and
+// irrevocable, only their durability is in doubt. If an EARLIER append (the
+// begin record or an operation record) had failed, Commit instead aborts
+// the transaction and returns the original append error: a durable commit
+// record must never vouch for operation records the log does not hold.
 func (t *Txn) Commit() error {
-	if err := t.db.tm.Commit(t.inner); err != nil {
+	if t.walErr != nil && !t.committed {
+		t.db.tm.Abort(t.inner)
+		t.db.forgetTxn(t.inner.ID)
+		return fmt.Errorf("lstore: transaction aborted, log incomplete: %w", t.walErr)
+	}
+	if t.db.logger == nil {
+		err := t.db.tm.Commit(t.inner)
+		if err == nil {
+			t.committed = true
+		}
+		return err
+	}
+	t.db.commitMu.RLock()
+	err := t.db.tm.Commit(t.inner)
+	if err != nil {
+		t.db.commitMu.RUnlock()
 		// A Commit retried after passing the in-memory commit point (e.g.
 		// after ErrDurabilityUnknown) fails validation here too; it must not
 		// append an abort record that could contradict the commit record.
-		if t.db.logger != nil && !t.committed {
+		if !t.committed {
 			t.db.logger.Append(wal.Record{Kind: wal.KindAbort, TxnID: t.inner.ID}) //nolint:errcheck
+			t.db.forgetTxn(t.inner.ID)
 		}
 		return err
 	}
 	t.committed = true
-	if t.db.logger != nil {
-		if _, err := t.db.logger.AppendCommit(t.inner.ID); err != nil {
-			return fmt.Errorf("%w: %v", ErrDurabilityUnknown, err)
-		}
+	commitLSN, werr := t.db.logger.AppendCommit(t.inner.ID)
+	t.db.commitMu.RUnlock()
+	if werr != nil {
+		// The commit record never became durable (and the logger is now
+		// poisoned, so no truncation can run either): the entry is moot.
+		t.db.forgetTxn(t.inner.ID)
+		return fmt.Errorf("%w: %v", ErrDurabilityUnknown, werr)
 	}
+	t.db.noteCommitLSN(t.inner.ID, commitLSN)
 	return nil
 }
 
@@ -190,32 +418,101 @@ func (t *Txn) Abort() {
 	t.db.tm.Abort(t.inner)
 	if t.db.logger != nil {
 		t.db.logger.Append(wal.Record{Kind: wal.KindAbort, TxnID: t.inner.ID}) //nolint:errcheck
+		t.db.forgetTxn(t.inner.ID)
 	}
 }
 
 // BeginTime returns the transaction's begin timestamp.
 func (t *Txn) BeginTime() Timestamp { return t.inner.Begin }
 
-// Recover replays a redo log captured through WithWAL into db: committed
-// transactions are re-applied in commit order; uncommitted and aborted ones
-// vanish. Tables must have been re-created (same names, same order, same
-// schemas) before calling Recover. The recovered state is logically
-// equivalent: latest committed values, uniqueness and indexes are restored;
-// version timestamps are re-issued.
-func Recover(db *DB, logData io.Reader) error {
-	records, err := wal.ReadAll(logData)
-	if err != nil {
-		return err
+// RecoverStats reports what one Recover call did.
+type RecoverStats struct {
+	// Watermark is the checkpoint's LSN watermark (0 without a checkpoint):
+	// only transactions whose commit record has a larger LSN were redone.
+	Watermark uint64
+	// CheckpointRows counts rows restored through the bulk-load path.
+	CheckpointRows int64
+	// SkippedTxns counts committed transactions at or below the watermark —
+	// already inside the checkpoint image, not replayed.
+	SkippedTxns int
+	// RedoneTxns/RedoneOps count the log-tail transactions re-applied and
+	// their operation records.
+	RedoneTxns int
+	RedoneOps  int
+}
+
+// Recover rebuilds db from a checkpoint image (written by DB.Checkpoint,
+// nil for none) and a redo-log tail captured through WithWAL (nil for
+// none). The checkpoint restores every table's committed rows through the
+// bulk-load fast path; the log tail then redoes, in commit order, exactly
+// the committed transactions whose commit record has LSN greater than the
+// checkpoint's watermark — uncommitted and aborted transactions vanish, and
+// transactions the checkpoint already covers are skipped, so restart cost
+// is bounded by checkpoint size plus log tail, not total history. Handing
+// Recover the full log (instead of a truncated tail) is always safe: the
+// watermark filter makes replay idempotent with respect to the checkpoint.
+//
+// Tables must have been re-created (same names, same order, same schemas)
+// before calling Recover. The recovered state is logically equivalent:
+// latest committed values, uniqueness and indexes are restored; version
+// timestamps are RE-ISSUED, so pre-crash snapshot handles (Timestamps) are
+// meaningless against the recovered database and the version history
+// collapses to the recovered states themselves.
+//
+// If db was opened WithWAL, recovery re-logs everything it applies — the
+// restored rows as one synthetic bulk-load transaction and each redone
+// transaction with fresh IDs — so the NEW log alone rebuilds the recovered
+// state: recover → write → crash → recover round-trips with no dependency
+// on the pre-crash log.
+func Recover(db *DB, checkpoint io.Reader, logTail io.Reader) (RecoverStats, error) {
+	var stats RecoverStats
+	// Exclude whole background-checkpointer rounds for the duration: a
+	// checkpoint cut mid-restore would capture a half-loaded image and its
+	// truncation could drop the re-logged records out from under it.
+	db.ckptRoundMu.Lock()
+	defer db.ckptRoundMu.Unlock()
+	if checkpoint != nil {
+		if err := db.restoreCheckpoint(checkpoint, &stats); err != nil {
+			return stats, err
+		}
 	}
-	return wal.RedoInCommitOrder(records, func(rec wal.Record) error {
+	if logTail != nil {
+		records, err := wal.ReadAll(logTail)
+		if err != nil {
+			return stats, err
+		}
+		for _, group := range wal.CommittedTxns(records, 0) {
+			if group.CommitLSN <= stats.Watermark {
+				stats.SkippedTxns++
+				continue
+			}
+			if err := db.redoTxn(group, &stats); err != nil {
+				return stats, err
+			}
+		}
+	}
+	if db.logger != nil {
+		if err := db.logger.Flush(); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// redoTxn re-applies one committed transaction's operations under a fresh
+// transaction, re-logging them (and the commit) when a WAL is attached.
+func (db *DB) redoTxn(group wal.TxnOps, stats *RecoverStats) error {
+	tx := db.tm.Begin(txn.ReadCommitted)
+	relog := db.logger != nil
+	for _, rec := range group.Ops {
 		db.mu.RLock()
 		if rec.Table >= uint64(len(db.byID)) {
 			db.mu.RUnlock()
+			db.tm.Abort(tx)
 			return fmt.Errorf("lstore: recovery references unknown table %d", rec.Table)
 		}
 		tbl := db.byID[rec.Table]
 		db.mu.RUnlock()
-		tx := db.tm.Begin(txn.ReadCommitted)
 		var opErr error
 		switch rec.Kind {
 		case wal.KindInsert:
@@ -239,10 +536,33 @@ func Recover(db *DB, logData io.Reader) error {
 		}
 		if opErr != nil {
 			db.tm.Abort(tx)
-			return opErr
+			return fmt.Errorf("lstore: redo txn %d LSN %d: %w", group.TxnID, rec.LSN, opErr)
 		}
-		return db.tm.Commit(tx)
-	})
+		if relog {
+			nrec := rec
+			nrec.LSN = 0
+			nrec.TxnID = tx.ID
+			if _, err := db.logger.Append(nrec); err != nil {
+				db.tm.Abort(tx)
+				return fmt.Errorf("lstore: re-log during recovery: %w", err)
+			}
+		}
+	}
+	// Gate the in-memory commit and its re-logged commit record together so
+	// a concurrent checkpoint cannot cut between them. The commit record is
+	// buffered (not flushed) — Recover flushes once at the end.
+	db.commitMu.RLock()
+	err := db.tm.Commit(tx)
+	if err == nil && relog {
+		_, err = db.logger.Append(wal.Record{Kind: wal.KindCommit, TxnID: tx.ID})
+	}
+	db.commitMu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("lstore: redo txn %d: %w", group.TxnID, err)
+	}
+	stats.RedoneTxns++
+	stats.RedoneOps += len(group.Ops)
+	return nil
 }
 
 func fromTyped(tv wal.TypedVal) Value {

@@ -83,7 +83,7 @@ func TestRecoveryEquivalenceProperty(t *testing.T) {
 			Column{Name: "user", Type: Int64},
 			Column{Name: "total", Type: Int64},
 		))
-		if err := Recover(db2, bytes.NewReader(log.Bytes())); err != nil {
+		if _, err := Recover(db2, nil, bytes.NewReader(log.Bytes())); err != nil {
 			t.Fatalf("seed %d: recover: %v", seed, err)
 		}
 
@@ -156,7 +156,7 @@ func TestRecoveryFromTornLog(t *testing.T) {
 		Column{Name: "id", Type: Int64},
 		Column{Name: "v", Type: Int64},
 	))
-	if err := Recover(db2, bytes.NewReader(data[:cut])); err != nil {
+	if _, err := Recover(db2, nil, bytes.NewReader(data[:cut])); err != nil {
 		t.Fatal(err)
 	}
 	_, rows, _ := tbl2.Sum(db2.Now(), "v")
@@ -224,7 +224,7 @@ func TestConcurrentPublicAPIWithWAL(t *testing.T) {
 		Column{Name: "id", Type: Int64},
 		Column{Name: "v", Type: Int64},
 	))
-	if err := Recover(db2, bytes.NewReader(log.Bytes())); err != nil {
+	if _, err := Recover(db2, nil, bytes.NewReader(log.Bytes())); err != nil {
 		t.Fatal(err)
 	}
 	sum2, rows, _ := tbl2.Sum(db2.Now(), "v")

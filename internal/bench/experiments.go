@@ -360,26 +360,28 @@ func Table9(o Options) error {
 
 // Experiments maps CLI identifiers to runners.
 var Experiments = map[string]func(Options) error{
-	"fig7a":  func(o Options) error { return Fig7(o, workload.Low) },
-	"fig7b":  func(o Options) error { return Fig7(o, workload.Medium) },
-	"fig7c":  func(o Options) error { return Fig7(o, workload.High) },
-	"fig8":   Fig8,
-	"table7": Table7,
-	"fig9a":  func(o Options) error { return Fig9(o, workload.Low) },
-	"fig9b":  func(o Options) error { return Fig9(o, workload.Medium) },
-	"fig10a": func(o Options) error { return Fig10(o, workload.Low) },
-	"fig10b": func(o Options) error { return Fig10(o, workload.Low) },
-	"fig10c": func(o Options) error { return Fig10(o, workload.Medium) },
-	"fig10d": func(o Options) error { return Fig10(o, workload.Medium) },
-	"table8": Table8,
-	"table9": Table9,
-	"query":  QueryExp,
+	"fig7a":   func(o Options) error { return Fig7(o, workload.Low) },
+	"fig7b":   func(o Options) error { return Fig7(o, workload.Medium) },
+	"fig7c":   func(o Options) error { return Fig7(o, workload.High) },
+	"fig8":    Fig8,
+	"table7":  Table7,
+	"fig9a":   func(o Options) error { return Fig9(o, workload.Low) },
+	"fig9b":   func(o Options) error { return Fig9(o, workload.Medium) },
+	"fig10a":  func(o Options) error { return Fig10(o, workload.Low) },
+	"fig10b":  func(o Options) error { return Fig10(o, workload.Low) },
+	"fig10c":  func(o Options) error { return Fig10(o, workload.Medium) },
+	"fig10d":  func(o Options) error { return Fig10(o, workload.Medium) },
+	"table8":  Table8,
+	"table9":  Table9,
+	"query":   QueryExp,
+	"recover": RecoverExp,
 }
 
 // ExperimentIDs lists the identifiers in paper order; "query" (the unified
-// query API's filtered-scan + aggregate sweep) extends the paper's set.
+// query API's filtered-scan + aggregate sweep) and "recover" (restart time,
+// full-log replay vs checkpoint+tail) extend the paper's set.
 var ExperimentIDs = []string{
 	"fig7a", "fig7b", "fig7c", "fig8", "table7",
 	"fig9a", "fig9b", "fig10a", "fig10c", "table8", "table9",
-	"query",
+	"query", "recover",
 }

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"lstore"
+	"lstore/internal/wal"
+)
+
+// RecoverExp measures restart cost: rebuild a database from its full redo
+// log versus from a checkpoint plus the log tail above the watermark. The
+// history is TableSize preloaded rows followed by 2×TableSize update
+// transactions; the checkpoint is taken at the end of that history, then a
+// tail of extra update transactions (swept as a fraction of the history)
+// runs before the simulated crash. The headline: checkpoint+tail restart
+// time is bounded by checkpoint size + tail length, full replay by total
+// history.
+func RecoverExp(o Options) error {
+	o = o.withDefaults()
+	rows := o.TableSize
+	historyTxns := 2 * rows
+
+	schema := lstore.NewSchema("id",
+		lstore.Column{Name: "id", Type: lstore.Int64},
+		lstore.Column{Name: "a", Type: lstore.Int64},
+		lstore.Column{Name: "b", Type: lstore.Int64},
+	)
+	topts := lstore.TableOptions{RangeSize: o.RangeSize, MergeBatch: o.MergeBatch, ScanWorkers: o.ScanWorkers}
+
+	sink := &wal.BufferSink{}
+	db := lstore.Open(lstore.WithWAL(sink, nil))
+	tbl, err := db.CreateTable("t", schema, topts)
+	if err != nil {
+		return err
+	}
+	const batch = 4096
+	for lo := 0; lo < rows; lo += batch {
+		hi := lo + batch
+		if hi > rows {
+			hi = rows
+		}
+		tx := db.Begin(lstore.ReadCommitted)
+		for i := lo; i < hi; i++ {
+			if err := tbl.Insert(tx, lstore.Row{
+				"id": lstore.Int(int64(i)), "a": lstore.Int(0), "b": lstore.Int(0),
+			}); err != nil {
+				tx.Abort()
+				return err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	update := func(i int) error {
+		tx := db.Begin(lstore.ReadCommitted)
+		if err := tbl.Update(tx, int64(i%rows), lstore.Row{"a": lstore.Int(int64(i))}); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	}
+	for i := 0; i < historyTxns; i++ {
+		if err := update(i); err != nil {
+			return err
+		}
+	}
+
+	var ckpt bytes.Buffer
+	info, err := db.Checkpoint(&ckpt)
+	if err != nil {
+		return err
+	}
+	// The operational flow: checkpoint, then truncate the log to the
+	// watermark. Full-replay restarts read prefix+tail; checkpoint restarts
+	// read image+tail only.
+	prefix := sink.Bytes()
+	if _, err := db.TruncateWAL(info.LSN); err != nil {
+		return err
+	}
+
+	restart := func(ckptImage []byte, logBytes []byte) (time.Duration, lstore.RecoverStats, error) {
+		db2 := lstore.Open()
+		defer db2.Close()
+		if _, err := db2.CreateTable("t", schema, topts); err != nil {
+			return 0, lstore.RecoverStats{}, err
+		}
+		var ckptReader io.Reader
+		if ckptImage != nil {
+			ckptReader = bytes.NewReader(ckptImage)
+		}
+		t0 := time.Now()
+		stats, rerr := lstore.Recover(db2, ckptReader, bytes.NewReader(logBytes))
+		return time.Since(t0), stats, rerr
+	}
+
+	o.printf("# Recover: restart time, full-log replay vs checkpoint+tail — %d rows, %d history txns, watermark LSN %d, checkpoint %d KB\n",
+		rows, historyTxns, info.LSN, ckpt.Len()/1024)
+	o.printf("%-10s %12s %12s %16s %18s %12s\n", "tail-txns", "log (KB)", "tail (KB)", "full replay (ms)", "ckpt+tail (ms)", "redone ops")
+
+	tailFracs := []int{0, 5, 25} // percent of history length
+	prevTail := 0
+	for _, pct := range tailFracs {
+		tailTxns := historyTxns * pct / 100
+		for i := prevTail; i < tailTxns; i++ {
+			if err := update(historyTxns + i); err != nil {
+				return err
+			}
+		}
+		prevTail = tailTxns
+		tail := sink.Bytes()                                    // retained log: records above the watermark
+		full := append(append([]byte(nil), prefix...), tail...) // what replay-from-scratch must read
+
+		fullDur, fullStats, err := restart(nil, full)
+		if err != nil {
+			return err
+		}
+		ckptDur, ckptStats, err := restart(ckpt.Bytes(), tail)
+		if err != nil {
+			return err
+		}
+		if ckptStats.RedoneTxns != tailTxns {
+			return fmt.Errorf("recover: redid %d tail txns, expected %d", ckptStats.RedoneTxns, tailTxns)
+		}
+		o.printf("%-10d %12d %12d %16.1f %18.1f %12d\n",
+			tailTxns, len(full)/1024, len(tail)/1024,
+			float64(fullDur.Microseconds())/1000, float64(ckptDur.Microseconds())/1000,
+			ckptStats.RedoneOps)
+		o.record(Sample{
+			Experiment: "recover", System: "full-replay",
+			Labels:        map[string]int{"tail_txns": tailTxns, "redone_ops": fullStats.RedoneOps},
+			RestartMillis: float64(fullDur.Microseconds()) / 1000,
+		})
+		o.record(Sample{
+			Experiment: "recover", System: "checkpoint+tail",
+			Labels:        map[string]int{"tail_txns": tailTxns, "redone_ops": ckptStats.RedoneOps},
+			RestartMillis: float64(ckptDur.Microseconds()) / 1000,
+		})
+	}
+	db.Close()
+	return nil
+}

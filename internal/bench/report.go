@@ -24,6 +24,9 @@ type Sample struct {
 	TxnsPerSec  float64 `json:"txns_per_sec,omitempty"`
 	ScansPerSec float64 `json:"scans_per_sec,omitempty"`
 	ScanMillis  float64 `json:"scan_ms,omitempty"`
+	// RestartMillis is the wall-clock cost of rebuilding a database after a
+	// simulated crash (the "recover" experiment).
+	RestartMillis float64 `json:"restart_ms,omitempty"`
 }
 
 // Report aggregates the samples of one harness invocation plus the knobs

@@ -172,43 +172,10 @@ func (s *Store) Insert(t *txn.Txn, vals []types.Value) error {
 	}
 	keySlot := slots[s.schema.Key]
 
-	// Reserve a base RID (and its aligned table-level tail slot). The
-	// reservation is announced through ib.pending BEFORE the take, so a
-	// sealer that observes the block full also observes the reservation and
-	// defers; all writes below go to the block the slot was taken from (the
-	// range's insertBlock pointer may be nil'd by a later seal).
-	var r *updateRange
-	var ib *tailBlock
-	var slot int
-	for {
-		r = s.curInsert.Load()
-		ib = r.insertBlock.Load()
-		if ib != nil {
-			ib.pending.Add(1)
-			if ib.sealing.Load() {
-				ib.pending.Add(-1) // a partial-block seal is quiescing takes
-			} else if _, sl, ok := ib.take(); ok {
-				slot = sl
-				break
-			} else {
-				ib.pending.Add(-1)
-			}
-		}
-		// Range full (or being force-sealed): roll over to a fresh insert
-		// range (§3.2: "if insert range is full, then a new insert range is
-		// created").
-		s.insertMu.Lock()
-		if s.curInsert.Load() == r {
-			if _, err := s.addInsertRange(); err != nil {
-				s.insertMu.Unlock()
-				return err
-			}
-		}
-		s.insertMu.Unlock()
-		// Re-kick unconditionally: a seal of r may have deferred on this
-		// goroutine's transient reservation, and the deferring worker will
-		// not retry on its own.
-		s.maybeEnqueueMerge(r)
+	// Reserve a base RID (and its aligned table-level tail slot).
+	r, ib, slot, err := s.takeInsertSlot()
+	if err != nil {
+		return err
 	}
 	baseRID := r.firstRID + types.RID(slot)
 
@@ -247,6 +214,45 @@ func (s *Store) Insert(t *txn.Txn, vals []types.Value) error {
 		s.maybeEnqueueMerge(r)
 	}
 	return nil
+}
+
+// takeInsertSlot reserves the next base slot, rolling over to a fresh
+// insert range when the current one is full. The reservation is announced
+// through ib.pending BEFORE the take, so a sealer that observes the block
+// full also observes the reservation and defers; all writes after a take go
+// to the block the slot was taken from (the range's insertBlock pointer may
+// be nil'd by a later seal). The caller must decrement ib.pending after
+// publishing (or neutralizing) the slot.
+func (s *Store) takeInsertSlot() (*updateRange, *tailBlock, int, error) {
+	for {
+		r := s.curInsert.Load()
+		ib := r.insertBlock.Load()
+		if ib != nil {
+			ib.pending.Add(1)
+			if ib.sealing.Load() {
+				ib.pending.Add(-1) // a partial-block seal is quiescing takes
+			} else if _, slot, ok := ib.take(); ok {
+				return r, ib, slot, nil
+			} else {
+				ib.pending.Add(-1)
+			}
+		}
+		// Range full (or being force-sealed): roll over to a fresh insert
+		// range (§3.2: "if insert range is full, then a new insert range is
+		// created").
+		s.insertMu.Lock()
+		if s.curInsert.Load() == r {
+			if _, err := s.addInsertRange(); err != nil {
+				s.insertMu.Unlock()
+				return nil, nil, 0, err
+			}
+		}
+		s.insertMu.Unlock()
+		// Re-kick unconditionally: a seal of r may have deferred on this
+		// goroutine's transient reservation, and the deferring worker will
+		// not retry on its own.
+		s.maybeEnqueueMerge(r)
+	}
 }
 
 // resolveKeyConflict handles an insert that lost the PutIfAbsent race: if

@@ -1,0 +1,66 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The one CRC framing shared by log records and checkpoint images:
+// len u32 | crc u32 | payload. The two consumers differ only in tail
+// semantics — ReadAll (the log) treats a torn tail as the crash cut and
+// ends replay cleanly, while checkpoint restore treats ErrTornFrame as
+// fatal (a torn image is unusable and must fail loudly).
+
+const frameHdrSize = 8
+
+// ErrTornFrame reports a truncated or corrupt frame.
+var ErrTornFrame = fmt.Errorf("wal: torn or corrupt frame")
+
+// WriteFrame writes one CRC-protected frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [frameHdrSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame. It returns io.EOF at a clean end of stream,
+// ErrTornFrame (exactly) for truncated or unverifiable frames, and wraps
+// genuine I/O failures distinctly so callers can tell a torn tail from a
+// dying reader.
+func ReadFrame(br *bufio.Reader) ([]byte, error) {
+	var hdr [frameHdrSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		switch err {
+		case io.EOF:
+			return nil, io.EOF
+		case io.ErrUnexpectedEOF:
+			return nil, ErrTornFrame
+		default:
+			return nil, fmt.Errorf("wal: read frame: %w", err)
+		}
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:])
+	crc := binary.LittleEndian.Uint32(hdr[4:])
+	if n > 1<<28 {
+		return nil, ErrTornFrame // implausible length
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, ErrTornFrame
+		}
+		return nil, fmt.Errorf("wal: read frame: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, ErrTornFrame
+	}
+	return payload, nil
+}

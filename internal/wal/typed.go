@@ -20,7 +20,9 @@ const (
 	TVString uint8 = 2
 )
 
-func appendTypedVals(payload []byte, tvals []TypedVal) []byte {
+// AppendTypedVals appends a length-prefixed TypedVal sequence to payload
+// (the encoding shared by log records and checkpoint row frames).
+func AppendTypedVals(payload []byte, tvals []TypedVal) []byte {
 	payload = binary.AppendUvarint(payload, uint64(len(tvals)))
 	for _, tv := range tvals {
 		payload = append(payload, tv.Kind)
@@ -35,7 +37,9 @@ func appendTypedVals(payload []byte, tvals []TypedVal) []byte {
 	return payload
 }
 
-func parseTypedVals(p []byte, off int) ([]TypedVal, int, error) {
+// ParseTypedVals decodes a TypedVal sequence written by AppendTypedVals
+// starting at off; it returns the values and the offset past them.
+func ParseTypedVals(p []byte, off int) ([]TypedVal, int, error) {
 	n, m := binary.Uvarint(p[off:])
 	if m <= 0 {
 		return nil, 0, fmt.Errorf("wal: truncated typed count")
@@ -76,28 +80,51 @@ func parseTypedVals(p []byte, off int) ([]TypedVal, int, error) {
 func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
-// RedoInCommitOrder replays committed transactions grouped and ordered by
-// the position of their commit records. Within one transaction, operations
-// replay in append order. Cross-transaction ordering by commit position is
-// correct because a writer can only follow another writer on the same
-// record after the first committed (write-write conflict detection), so the
-// later writer's commit record necessarily appears later in the log.
-func RedoInCommitOrder(records []Record, apply func(Record) error) error {
+// TxnOps is one committed transaction as reconstructed from the log: its
+// operation records in append order plus the LSN of its commit record.
+type TxnOps struct {
+	TxnID     uint64
+	CommitLSN uint64
+	Ops       []Record
+}
+
+// CommittedTxns groups the operation records of committed transactions,
+// ordered by the position of their commit records, skipping transactions
+// whose commit LSN is at or below afterLSN (already covered by a checkpoint
+// watermark). Within one transaction, operations keep append order.
+// Cross-transaction ordering by commit position is correct because a writer
+// can only follow another writer on the same record after the first
+// committed (write-write conflict detection), so the later writer's commit
+// record necessarily appears later in the log. Operations of transactions
+// without a commit record — and of aborted ones — are discarded.
+func CommittedTxns(records []Record, afterLSN uint64) []TxnOps {
 	ops := make(map[uint64][]Record)
+	var out []TxnOps
 	for i := range records {
 		rec := records[i]
 		switch rec.Kind {
 		case KindInsert, KindUpdate, KindDelete:
 			ops[rec.TxnID] = append(ops[rec.TxnID], rec)
 		case KindCommit:
-			for _, op := range ops[rec.TxnID] {
-				if err := apply(op); err != nil {
-					return fmt.Errorf("wal: redo txn %d LSN %d: %w", rec.TxnID, op.LSN, err)
-				}
+			if rec.LSN > afterLSN {
+				out = append(out, TxnOps{TxnID: rec.TxnID, CommitLSN: rec.LSN, Ops: ops[rec.TxnID]})
 			}
 			delete(ops, rec.TxnID)
 		case KindAbort:
 			delete(ops, rec.TxnID)
+		}
+	}
+	return out
+}
+
+// RedoInCommitOrder replays every committed transaction's operations in
+// commit order (CommittedTxns with no watermark), streaming them to apply.
+func RedoInCommitOrder(records []Record, apply func(Record) error) error {
+	for _, txn := range CommittedTxns(records, 0) {
+		for _, op := range txn.Ops {
+			if err := apply(op); err != nil {
+				return fmt.Errorf("wal: redo txn %d LSN %d: %w", txn.TxnID, op.LSN, err)
+			}
 		}
 	}
 	return nil

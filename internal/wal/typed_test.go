@@ -46,8 +46,8 @@ func TestTypedValsProperty(t *testing.T) {
 			tvals = append(tvals, TypedVal{Kind: TVString, S: s})
 		}
 		tvals = append(tvals, TypedVal{Kind: TVNull})
-		payload := appendTypedVals(nil, tvals)
-		got, off, err := parseTypedVals(payload, 0)
+		payload := AppendTypedVals(nil, tvals)
+		got, off, err := ParseTypedVals(payload, 0)
 		if err != nil || off != len(payload) || len(got) != len(tvals) {
 			return false
 		}

@@ -14,6 +14,24 @@
 //     redo: replay their operations in log order). Operations of
 //     transactions without a commit record are discarded — exactly the
 //     "mark as tombstone, space reclaimed later" rule of the paper.
+//     CommittedTxns additionally takes a checkpoint watermark: transactions
+//     whose commit record has LSN at or below the watermark are already
+//     reflected in the checkpoint image and are skipped, so restart cost is
+//     bounded by checkpoint size plus log tail, not total history.
+//
+//   - torn-write poisoning: a write failure partway through a record leaves
+//     a torn prefix in the buffer that would silently truncate every later
+//     record on replay (replay stops at the first unverifiable frame). The
+//     logger therefore goes sticky-failed on the first write or flush error:
+//     every subsequent Append/Flush returns the poisoning error instead of
+//     quietly logging records that can never be replayed.
+//
+//   - truncation: TruncateTo drops the durable prefix up to a checkpoint
+//     watermark when the sink supports prefix disposal (TruncatableSink;
+//     BufferSink is the in-memory implementation, a stand-in for deleting
+//     sealed segment files). Callers must not truncate past the begin LSN of
+//     any transaction that could still commit — the database layer computes
+//     that safe point from its active-transaction table.
 //
 // The Ownership-Relaying (OR) pageLSN protocol of §5.2 lives in or.go.
 package wal
@@ -21,8 +39,8 @@ package wal
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"sync"
 )
@@ -78,6 +96,17 @@ type Record struct {
 	TVals []TypedVal // typed payload (public layer)
 }
 
+// ErrNotTruncatable is returned by TruncateTo when the sink cannot discard
+// a durable prefix (it does not implement TruncatableSink).
+var ErrNotTruncatable = fmt.Errorf("wal: sink does not support truncation")
+
+// lsnOffset records the cumulative byte offset at which one record ends,
+// letting TruncateTo translate an LSN watermark into a sink byte count.
+type lsnOffset struct {
+	lsn uint64
+	end int64
+}
+
 // Logger is the append-only redo log with group commit.
 type Logger struct {
 	mu       sync.Mutex
@@ -88,23 +117,54 @@ type Logger struct {
 	synced   func() // optional fsync hook
 	syncs    int
 	appended int
+
+	// err is the sticky poisoning error: once a record write or flush fails,
+	// the buffer (or the sink) may hold a torn record prefix that would
+	// silently end replay, so every later Append/Flush fails with this error
+	// instead of appending records durability can never cover.
+	err error
+
+	// Truncation bookkeeping (tracked only when the sink supports it).
+	trackOffsets bool
+	written      int64       // total bytes handed to the buffered writer
+	dropped      int64       // bytes already discarded from the sink's front
+	offsets      []lsnOffset // end offsets of retained records, ascending
+	truncated    uint64      // highest LSN discarded by TruncateTo
 }
 
 // NewLogger wraps sink (a file or buffer). syncFn, if non-nil, is invoked on
 // every flush (an fsync stand-in that tests count).
 func NewLogger(sink io.Writer, syncFn func()) *Logger {
-	return &Logger{w: bufio.NewWriterSize(sink, 1<<16), sink: sink, nextLSN: 1, synced: syncFn}
+	_, truncatable := sink.(TruncatableSink)
+	return &Logger{
+		w:            bufio.NewWriterSize(sink, 1<<16),
+		sink:         sink,
+		nextLSN:      1,
+		synced:       syncFn,
+		trackOffsets: truncatable,
+	}
 }
 
 // Append buffers rec and returns its LSN. It never blocks on I/O beyond the
-// in-memory buffer (durability comes from Flush).
+// in-memory buffer (durability comes from Flush). A write failure poisons
+// the logger: the buffer may hold a torn prefix of the record, so every
+// subsequent Append/Flush returns the sticky error.
 func (l *Logger) Append(rec Record) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
 	rec.LSN = l.nextLSN
 	l.nextLSN++
-	if err := writeRecord(l.w, &rec); err != nil {
+	n, err := writeRecord(l.w, &rec)
+	if err != nil {
+		l.poison(fmt.Errorf("append of LSN %d failed mid-record: %w", rec.LSN, err))
 		return 0, err
+	}
+	l.written += int64(n)
+	if l.trackOffsets {
+		l.offsets = append(l.offsets, lsnOffset{lsn: rec.LSN, end: l.written})
 	}
 	l.appended++
 	return rec.LSN, nil
@@ -125,7 +185,15 @@ func (l *Logger) AppendCommit(txnID uint64) (uint64, error) {
 func (l *Logger) Flush() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.flushLocked()
+}
+
+func (l *Logger) flushLocked() error {
+	if l.err != nil {
+		return l.err
+	}
 	if err := l.w.Flush(); err != nil {
+		l.poison(fmt.Errorf("flush failed: %w", err))
 		return err
 	}
 	if l.synced != nil {
@@ -134,6 +202,67 @@ func (l *Logger) Flush() error {
 	l.syncs++
 	l.flushed = l.nextLSN - 1
 	return nil
+}
+
+// poison records the first write failure; callers hold l.mu.
+func (l *Logger) poison(cause error) {
+	if l.err == nil {
+		l.err = fmt.Errorf("wal: log poisoned by earlier write failure (%v); later records could silently truncate on replay", cause)
+	}
+}
+
+// Err returns the sticky poisoning error, or nil while the log is healthy.
+func (l *Logger) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// TruncateTo flushes and then discards every durable record with LSN at or
+// below lsn. The sink must implement TruncatableSink (ErrNotTruncatable
+// otherwise). Truncating at a checkpoint watermark is only safe above the
+// begin LSN of every transaction that could still commit; the database layer
+// owns that bound. Records above lsn are retained byte-exactly.
+func (l *Logger) TruncateTo(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ts, ok := l.sink.(TruncatableSink)
+	if !ok {
+		return ErrNotTruncatable
+	}
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	// Find the end offset of the newest retained record at or below lsn.
+	idx := -1
+	for i, o := range l.offsets {
+		if o.lsn > lsn {
+			break
+		}
+		idx = i
+	}
+	if idx < 0 {
+		return nil // nothing at or below lsn retained (already truncated)
+	}
+	cut := l.offsets[idx]
+	if err := ts.DropPrefix(cut.end - l.dropped); err != nil {
+		return err
+	}
+	l.dropped = cut.end
+	l.truncated = cut.lsn
+	l.offsets = append(l.offsets[:0], l.offsets[idx+1:]...)
+	return nil
+}
+
+// Truncatable reports whether the sink supports prefix truncation (the
+// logger only pays for offset tracking when it does).
+func (l *Logger) Truncatable() bool { return l.trackOffsets }
+
+// TruncatedLSN returns the highest LSN discarded by TruncateTo (0 = none).
+func (l *Logger) TruncatedLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.truncated
 }
 
 // FlushedLSN returns the highest durable LSN.
@@ -158,11 +287,11 @@ func (l *Logger) Appended() int {
 }
 
 // ---------------------------------------------------------------------------
-// Binary format: len u32 | crc u32 | payload. Payload: lsn, kind, txnid,
-// key, cols, vals (varints). A torn tail (partial final record) terminates
-// replay cleanly.
+// Binary format: one CRC frame per record (frame.go). Payload: lsn, kind,
+// txnid, key, cols, vals (varints). A torn tail (partial final record)
+// terminates replay cleanly.
 
-func writeRecord(w io.Writer, rec *Record) error {
+func writeRecord(w io.Writer, rec *Record) (int, error) {
 	var payload []byte
 	payload = binary.AppendUvarint(payload, rec.LSN)
 	payload = append(payload, byte(rec.Kind))
@@ -177,46 +306,33 @@ func writeRecord(w io.Writer, rec *Record) error {
 	for _, v := range rec.Vals {
 		payload = binary.AppendUvarint(payload, v)
 	}
-	payload = appendTypedVals(payload, rec.TVals)
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+	payload = AppendTypedVals(payload, rec.TVals)
+	if err := WriteFrame(w, payload); err != nil {
+		return 0, err
 	}
-	_, err := w.Write(payload)
-	return err
+	return frameHdrSize + len(payload), nil
 }
 
 // ReadAll parses records from r until EOF or a torn/corrupt tail, which ends
 // the stream without error (standard recovery semantics). A corrupt record
 // in the middle still just ends the stream — everything after an
-// unverifiable record is untrustworthy.
+// unverifiable record is untrustworthy. Genuine reader failures (a dying
+// device, not a short stream) are returned.
 func ReadAll(r io.Reader) ([]Record, error) {
 	br := bufio.NewReader(r)
 	var out []Record
 	for {
-		var hdr [8]byte
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return out, nil
-			}
+		payload, err := ReadFrame(br)
+		switch {
+		case err == io.EOF:
+			return out, nil
+		case errors.Is(err, ErrTornFrame):
+			return out, nil // torn or corrupt tail: the crash cut
+		case err != nil:
 			return out, err
 		}
-		n := binary.LittleEndian.Uint32(hdr[0:])
-		crc := binary.LittleEndian.Uint32(hdr[4:])
-		if n > 1<<24 {
-			return out, nil // implausible length: torn tail
-		}
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(br, payload); err != nil {
-			return out, nil // torn tail
-		}
-		if crc32.ChecksumIEEE(payload) != crc {
-			return out, nil // corrupt tail
-		}
-		rec, err := parsePayload(payload)
-		if err != nil {
+		rec, perr := parsePayload(payload)
+		if perr != nil {
 			return out, nil
 		}
 		out = append(out, rec)
@@ -275,7 +391,7 @@ func parsePayload(p []byte) (Record, error) {
 		}
 		rec.Vals = append(rec.Vals, v)
 	}
-	tvals, noff, err := parseTypedVals(p, off)
+	tvals, noff, err := ParseTypedVals(p, off)
 	if err != nil {
 		return rec, err
 	}

@@ -1,7 +1,11 @@
 package wal
 
 import (
+	"bufio"
 	"bytes"
+	"errors"
+	"io"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -298,5 +302,166 @@ func TestKindStrings(t *testing.T) {
 		if k.String() != want {
 			t.Errorf("%v", k)
 		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// Torn-write poisoning, truncation, frames
+
+// deadWriter fails every write.
+type deadWriter struct{}
+
+func (deadWriter) Write([]byte) (int, error) {
+	return 0, errors.New("dead device")
+}
+
+func TestWriteFailurePoisonsLogger(t *testing.T) {
+	l := NewLogger(deadWriter{}, nil)
+	// An oversized record writes through the buffer and fails mid-record.
+	big := Record{Kind: KindInsert, TxnID: 1, TVals: []TypedVal{{Kind: TVString, S: strings.Repeat("x", 1<<17)}}}
+	if _, err := l.Append(big); err == nil {
+		t.Fatal("oversized append on dead device succeeded")
+	}
+	// The buffer may hold a torn prefix: everything later must fail sticky.
+	if _, err := l.Append(Record{Kind: KindInsert, TxnID: 2}); err == nil {
+		t.Fatal("append after poisoning succeeded")
+	}
+	if err := l.Flush(); err == nil {
+		t.Fatal("flush after poisoning succeeded")
+	}
+	if _, err := l.AppendCommit(2); err == nil {
+		t.Fatal("commit after poisoning succeeded")
+	}
+	if l.Err() == nil {
+		t.Fatal("Err() nil after poisoning")
+	}
+	if l.Appended() != 0 {
+		t.Fatalf("Appended = %d after poisoned appends", l.Appended())
+	}
+}
+
+func TestFlushFailurePoisonsLogger(t *testing.T) {
+	l := NewLogger(deadWriter{}, nil)
+	if _, err := l.Append(Record{Kind: KindInsert, TxnID: 1}); err != nil {
+		t.Fatalf("buffered append failed: %v", err)
+	}
+	if err := l.Flush(); err == nil {
+		t.Fatal("flush to dead device succeeded")
+	}
+	if _, err := l.Append(Record{Kind: KindInsert, TxnID: 2}); err == nil {
+		t.Fatal("append after flush failure succeeded")
+	}
+}
+
+func TestTruncateToDropsPrefixExactly(t *testing.T) {
+	sink := &BufferSink{}
+	l := NewLogger(sink, nil)
+	for i := uint64(1); i <= 10; i++ {
+		if _, err := l.Append(Record{Kind: KindInsert, TxnID: i, Key: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.TruncateTo(4); err != nil { // flushes internally
+		t.Fatal(err)
+	}
+	if got := l.TruncatedLSN(); got != 4 {
+		t.Fatalf("TruncatedLSN = %d, want 4", got)
+	}
+	recs, err := ReadAll(sink.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 || recs[0].LSN != 5 || recs[5].LSN != 10 {
+		t.Fatalf("retained %d records, first LSN %d", len(recs), recs[0].LSN)
+	}
+	// Truncating again below the retained range is a no-op.
+	if err := l.TruncateTo(3); err != nil {
+		t.Fatal(err)
+	}
+	if recs, _ := ReadAll(sink.Reader()); len(recs) != 6 {
+		t.Fatalf("idempotent truncation dropped records: %d left", len(recs))
+	}
+	// Appending continues with monotone LSNs; a later truncation works too.
+	if _, err := l.Append(Record{Kind: KindCommit, TxnID: 11}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TruncateTo(10); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ = ReadAll(sink.Reader())
+	if len(recs) != 1 || recs[0].LSN != 11 {
+		t.Fatalf("after second truncation: %d records, first LSN %d", len(recs), recs[0].LSN)
+	}
+}
+
+func TestTruncateToNonTruncatableSink(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, nil)
+	l.Append(Record{Kind: KindInsert, TxnID: 1})
+	if err := l.TruncateTo(1); err != ErrNotTruncatable {
+		t.Fatalf("TruncateTo on plain buffer = %v, want ErrNotTruncatable", err)
+	}
+}
+
+func TestCommittedTxnsWatermark(t *testing.T) {
+	records := []Record{
+		{LSN: 1, Kind: KindBegin, TxnID: 1},
+		{LSN: 2, Kind: KindInsert, TxnID: 1, Key: 1},
+		{LSN: 3, Kind: KindBegin, TxnID: 2},
+		{LSN: 4, Kind: KindInsert, TxnID: 2, Key: 2},
+		{LSN: 5, Kind: KindCommit, TxnID: 1},
+		{LSN: 6, Kind: KindUpdate, TxnID: 2, Key: 2},
+		{LSN: 7, Kind: KindCommit, TxnID: 2},
+		{LSN: 8, Kind: KindBegin, TxnID: 3},
+		{LSN: 9, Kind: KindInsert, TxnID: 3, Key: 3},
+		{LSN: 10, Kind: KindAbort, TxnID: 3},
+		{LSN: 11, Kind: KindInsert, TxnID: 4, Key: 4}, // no commit: discarded
+	}
+	all := CommittedTxns(records, 0)
+	if len(all) != 2 || all[0].TxnID != 1 || all[1].TxnID != 2 {
+		t.Fatalf("CommittedTxns(0) = %+v", all)
+	}
+	if len(all[1].Ops) != 2 || all[1].Ops[0].LSN != 4 || all[1].Ops[1].LSN != 6 {
+		t.Fatalf("txn 2 ops out of order: %+v", all[1].Ops)
+	}
+	// Watermark 5: txn 1 (commit LSN 5) is covered, txn 2 (LSN 7) is not —
+	// including its op at LSN 4, below the watermark but uncovered.
+	tail := CommittedTxns(records, 5)
+	if len(tail) != 1 || tail[0].TxnID != 2 || len(tail[0].Ops) != 2 {
+		t.Fatalf("CommittedTxns(5) = %+v", tail)
+	}
+}
+
+func TestFrameRoundTripAndTorn(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("alpha"), {}, []byte("gamma-gamma")}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(bytes.NewReader(buf.Bytes()))
+	for i, want := range payloads {
+		got, err := ReadFrame(br)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("frame %d = %q, %v", i, got, err)
+		}
+	}
+	if _, err := ReadFrame(br); err != io.EOF {
+		t.Fatalf("clean end = %v, want io.EOF", err)
+	}
+	// Torn and corrupt streams fail loudly (strict, unlike the log).
+	data := buf.Bytes()
+	br = bufio.NewReader(bytes.NewReader(data[:len(data)-2]))
+	ReadFrame(br)
+	ReadFrame(br)
+	if _, err := ReadFrame(br); err != ErrTornFrame {
+		t.Fatalf("torn frame = %v, want ErrTornFrame", err)
+	}
+	mut := append([]byte(nil), data...)
+	mut[9] ^= 0xFF // payload byte of the first frame
+	br = bufio.NewReader(bytes.NewReader(mut))
+	if _, err := ReadFrame(br); err != ErrTornFrame {
+		t.Fatalf("corrupt frame = %v, want ErrTornFrame", err)
 	}
 }

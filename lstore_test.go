@@ -331,7 +331,7 @@ func TestWALRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := Recover(db2, bytes.NewReader(log.Bytes())); err != nil {
+	if _, err := Recover(db2, nil, bytes.NewReader(log.Bytes())); err != nil {
 		t.Fatal(err)
 	}
 	tx2 := db2.Begin(ReadCommitted)

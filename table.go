@@ -70,9 +70,13 @@ func (tb *Table) Insert(t *Txn, row Row) error {
 		for i, v := range vals {
 			tvals[i] = toTyped(v)
 		}
-		tb.db.logger.Append(wal.Record{ //nolint:errcheck
+		if _, err := tb.db.logger.Append(wal.Record{
 			Kind: wal.KindInsert, TxnID: t.inner.ID, Table: tb.id, TVals: tvals,
-		})
+		}); err != nil {
+			// The insert applied in memory but its log record did not:
+			// poison the transaction so Commit aborts it atomically.
+			return t.poisonWAL(err)
+		}
 	}
 	return nil
 }
@@ -98,7 +102,9 @@ func (tb *Table) Update(t *Txn, key int64, set Row) error {
 			rec.Cols = append(rec.Cols, uint32(cols[i]))
 			rec.TVals = append(rec.TVals, toTyped(vals[i]))
 		}
-		tb.db.logger.Append(rec) //nolint:errcheck
+		if _, err := tb.db.logger.Append(rec); err != nil {
+			return t.poisonWAL(err)
+		}
 	}
 	return nil
 }
@@ -109,9 +115,11 @@ func (tb *Table) Delete(t *Txn, key int64) error {
 		return err
 	}
 	if tb.db.logger != nil {
-		tb.db.logger.Append(wal.Record{ //nolint:errcheck
+		if _, err := tb.db.logger.Append(wal.Record{
 			Kind: wal.KindDelete, TxnID: t.inner.ID, Table: tb.id, Key: zig(key),
-		})
+		}); err != nil {
+			return t.poisonWAL(err)
+		}
 	}
 	return nil
 }
