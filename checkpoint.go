@@ -455,9 +455,9 @@ type CheckpointSink interface {
 // replaced on each round.
 type CheckpointBuffer struct {
 	mu    sync.Mutex
-	image []byte
-	info  CheckpointInfo
-	taken int
+	image []byte         // guarded by mu
+	info  CheckpointInfo // guarded by mu
+	taken int            // guarded by mu
 }
 
 // Checkpoint stores image as the latest checkpoint.

@@ -1,0 +1,68 @@
+// Command lstore-lint runs the repository's static-analysis suite
+// (internal/lint): walerr, scanpath, lockguard, and nodeterminism. It exits
+// nonzero when any diagnostic is reported, so CI can gate on it:
+//
+//	go run ./cmd/lstore-lint ./...
+//
+// Pass -only to run a subset, e.g. -only=walerr,lockguard.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lstore/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lstore-lint [-only=a,b] [packages]\n\nanalyzers:\n")
+		for _, az := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", az.Name, az.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var picked []*lint.Analyzer
+		for _, az := range analyzers {
+			if want[az.Name] {
+				picked = append(picked, az)
+				delete(want, az.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "lstore-lint: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = picked
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lstore-lint:", err)
+		os.Exit(2)
+	}
+	n, err := lint.Run(os.Stdout, cwd, analyzers, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lstore-lint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "lstore-lint: %d problem(s)\n", n)
+		os.Exit(1)
+	}
+}

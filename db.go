@@ -20,10 +20,10 @@ type DB struct {
 	em *epoch.Manager
 
 	mu     sync.RWMutex
-	tables map[string]*Table
-	byID   []*Table
-	logger *wal.Logger
-	closed bool
+	tables map[string]*Table // guarded by mu
+	byID   []*Table          // guarded by mu
+	logger *wal.Logger       // immutable after Open
+	closed bool              // guarded by mu
 
 	// commitMu gates the window between a transaction's in-memory commit
 	// and its WAL commit record against Checkpoint's (timestamp, LSN) cut:
@@ -42,7 +42,7 @@ type DB struct {
 	// record landed above it (it is in the log tail, not the image).
 	// Entries are pruned once a truncation covers their commit record.
 	activeMu sync.Mutex
-	txnLog   map[uint64]txnLSNs
+	txnLog   map[uint64]txnLSNs // guarded by activeMu
 
 	// ckptRoundMu serializes whole checkpoint rounds against Recover: a
 	// checkpoint cut mid-restore would capture a half-loaded image and
@@ -387,7 +387,7 @@ func (t *Txn) Commit() error {
 		// after ErrDurabilityUnknown) fails validation here too; it must not
 		// append an abort record that could contradict the commit record.
 		if !t.committed {
-			t.db.logger.Append(wal.Record{Kind: wal.KindAbort, TxnID: t.inner.ID}) //nolint:errcheck
+			t.db.logger.Append(wal.Record{Kind: wal.KindAbort, TxnID: t.inner.ID}) //wal:ignore-err abort record is advisory; replay discards uncommitted txns without it
 			t.db.forgetTxn(t.inner.ID)
 		}
 		return err
@@ -417,7 +417,7 @@ func (t *Txn) Abort() {
 	}
 	t.db.tm.Abort(t.inner)
 	if t.db.logger != nil {
-		t.db.logger.Append(wal.Record{Kind: wal.KindAbort, TxnID: t.inner.ID}) //nolint:errcheck
+		t.db.logger.Append(wal.Record{Kind: wal.KindAbort, TxnID: t.inner.ID}) //wal:ignore-err abort record is advisory; replay discards uncommitted txns without it
 		t.db.forgetTxn(t.inner.ID)
 	}
 }

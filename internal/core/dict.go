@@ -14,8 +14,8 @@ import (
 // across merges and historic compression.
 type stringDict struct {
 	mu     sync.RWMutex
-	toCode map[string]uint64
-	vals   []string
+	toCode map[string]uint64 // guarded by mu
+	vals   []string          // guarded by mu
 }
 
 func newStringDict() *stringDict {

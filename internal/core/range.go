@@ -79,7 +79,7 @@ type updateRange struct {
 	// inQueue deduplicates merge-queue entries.
 	appended    atomic.Int64
 	mergeMu     sync.Mutex
-	lineage     mergeLineage
+	lineage     mergeLineage // guarded by mergeMu
 	consumedMin atomic.Int64
 	inQueue     atomic.Bool
 
@@ -88,7 +88,7 @@ type updateRange struct {
 	// compressed blocks (guarded by mergeMu).
 	hist       atomic.Pointer[historyStore]
 	histUpto   atomic.Uint64
-	histBlocks int64
+	histBlocks int64 // guarded by mergeMu
 }
 
 func newUpdateRange(s *Store, idx int, firstRID types.RID, n int) (*updateRange, error) {

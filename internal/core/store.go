@@ -29,7 +29,7 @@ type Store struct {
 	tailDir *pagedir.Directory[*tailBlock]
 
 	rangesMu  sync.RWMutex
-	ranges    []*updateRange
+	ranges    []*updateRange // guarded by rangesMu
 	curInsert atomic.Pointer[updateRange]
 	insertMu  sync.Mutex // serializes insert-range rollover
 

@@ -39,7 +39,10 @@ type tailBlock struct {
 	startTime   *page.TailPage // commit time or transaction ID
 	baseRID     *page.TailPage // owning base record (merge accelerator, §2.2)
 
-	// Data tail pages, one per schema column, allocated lazily.
+	// Data tail pages, one per schema column, allocated lazily. NOT
+	// annotated "guarded by allocMu": readers load pages lock-free through
+	// the atomic pointer; allocMu only serializes the allocate-and-publish
+	// step so two writers do not race to install the same column's page.
 	data []atomic.Pointer[page.TailPage]
 
 	allocMu sync.Mutex // serializes lazy data-page allocation only

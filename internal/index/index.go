@@ -27,7 +27,7 @@ type Primary struct {
 
 type primaryStripe struct {
 	mu sync.RWMutex
-	m  map[uint64]types.RID
+	m  map[uint64]types.RID // guarded by mu
 }
 
 // NewPrimary returns an empty primary index.
@@ -129,7 +129,7 @@ type Secondary struct {
 
 type secondaryStripe struct {
 	mu sync.RWMutex
-	m  map[uint64][]types.RID
+	m  map[uint64][]types.RID // guarded by mu
 }
 
 // NewSecondary returns an empty secondary index.

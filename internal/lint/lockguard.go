@@ -1,0 +1,818 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// LockGuardAnalyzer enforces the `// guarded by <mu>` annotation: a struct
+// field whose doc or line comment starts with "guarded by tmu" may only be
+// touched while the sibling mutex tmu of the same instance is held. The check
+// is an intraprocedural lock-state walk: branch-sensitive (if/else states are
+// intersected, terminated branches discarded), defer-aware (`defer mu.Unlock()`
+// keeps the lock held to the end of the body), and mode-aware (writes to a
+// field guarded by a sync.RWMutex held in read mode are flagged). Helper
+// functions that run with a lock already held declare it with a
+// `// locked: recv.mu` doc line. While walking, the analyzer also records the
+// mutex acquisition graph (Type.field nodes, including lock sets reached
+// through same-package calls) and rejects ordering cycles, the discipline that
+// keeps db.mu/commitMu/ckptRoundMu deadlock-free.
+var LockGuardAnalyzer = &Analyzer{
+	Name: "lockguard",
+	Doc: "checks `// guarded by <mu>` field annotations with an " +
+		"intraprocedural lock-state walk, and rejects mutex acquisition-order " +
+		"cycles across db.mu/commitMu/ckptRoundMu and friends",
+	Run: runLockGuard,
+}
+
+const lockGuardMarker = "lockguard:ok"
+
+var (
+	guardedRe = regexp.MustCompile(`^guarded by ([A-Za-z_]\w*)`)
+	lockedRe  = regexp.MustCompile(`^locked: ([A-Za-z_]\w*)\.([A-Za-z_]\w*)`)
+)
+
+// guardInfo is one annotated field: which sibling mutex guards it.
+type guardInfo struct {
+	mu       string // sibling mutex field name
+	rw       bool   // the mutex is a sync.RWMutex (writes need Lock, not RLock)
+	typeName string // declaring struct type, for messages
+	field    string
+}
+
+// heldLock is one lock in the current state.
+type heldLock struct {
+	mode byte   // 'W' (Lock) or 'R' (RLock)
+	node string // type-level name "Type.mu" for the acquisition graph
+}
+
+// heldSet maps canonical lock expressions ("l.mu", "s.ranges[i].tmu") to the
+// mode they are held in.
+type heldSet map[string]heldLock
+
+type lockGuard struct {
+	pass    *Pass
+	info    *types.Info
+	guards  map[token.Pos]guardInfo         // field defining Pos -> guard
+	closure map[*types.Func]map[string]bool // transitive acquire sets
+	edges   map[string]map[string]token.Pos // acquisition graph, first site
+	handled map[*ast.FuncLit]bool           // func lits already walked
+	ctor    map[types.Object]bool           // locals still under construction
+}
+
+func runLockGuard(pass *Pass) error {
+	lg := &lockGuard{
+		pass:    pass,
+		info:    pass.Pkg.Info,
+		guards:  make(map[token.Pos]guardInfo),
+		edges:   make(map[string]map[string]token.Pos),
+		closure: make(map[*types.Func]map[string]bool),
+	}
+	lg.collectGuards()
+	lg.buildClosure()
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lg.handled = make(map[*ast.FuncLit]bool)
+			lg.ctor = make(map[types.Object]bool)
+			lg.walkStmt(fd.Body, lg.initialState(fd))
+		}
+	}
+	lg.reportCycles()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Annotation collection
+
+func (lg *lockGuard) collectGuards() {
+	for _, file := range lg.pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				mu := guardAnnotation(fld)
+				if mu == "" {
+					continue
+				}
+				sib := findField(st, mu)
+				if sib == nil {
+					lg.pass.Reportf(fld.Pos(), "guarded by %s, but %s has no field named %s", mu, ts.Name.Name, mu)
+					continue
+				}
+				rw, isMutex := lg.mutexKind(sib.Type)
+				if !isMutex {
+					lg.pass.Reportf(fld.Pos(), "guarded by %s, but %s.%s is not a sync.Mutex or sync.RWMutex", mu, ts.Name.Name, mu)
+					continue
+				}
+				for _, name := range fld.Names {
+					obj := lg.info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					lg.guards[obj.Pos()] = guardInfo{mu: mu, rw: rw, typeName: ts.Name.Name, field: name.Name}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// guardAnnotation extracts the mutex name from a field's comments. Only a
+// comment line that starts with "guarded by" counts — prose that merely
+// mentions the phrase mid-sentence does not annotate.
+func guardAnnotation(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if m := guardedRe.FindStringSubmatch(text); m != nil {
+				return m[1]
+			}
+		}
+	}
+	return ""
+}
+
+func findField(st *ast.StructType, name string) *ast.Field {
+	for _, fld := range st.Fields.List {
+		for _, n := range fld.Names {
+			if n.Name == name {
+				return fld
+			}
+		}
+	}
+	return nil
+}
+
+// mutexKind reports whether the field type is a sync mutex and whether it is
+// the RW flavor.
+func (lg *lockGuard) mutexKind(typeExpr ast.Expr) (rw, isMutex bool) {
+	t := lg.info.TypeOf(typeExpr)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch named.Obj().Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural acquire sets (for the acquisition graph only)
+
+func (lg *lockGuard) buildClosure() {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range lg.pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := lg.info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	calls := make(map[*types.Func][]*types.Func)
+	for fn, fd := range decls {
+		acq := make(map[string]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if x, _, isAcq, isLockOp := lg.lockOp(call); isLockOp {
+				if isAcq {
+					acq[lg.nodeFor(x)] = true
+				}
+				return true
+			}
+			if callee := FuncFor(lg.info, call); callee != nil {
+				if _, local := decls[callee]; local {
+					calls[fn] = append(calls[fn], callee)
+				}
+			}
+			return true
+		})
+		lg.closure[fn] = acq
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			for _, callee := range callees {
+				for node := range lg.closure[callee] {
+					if !lg.closure[fn][node] {
+						lg.closure[fn][node] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Lock-state walk
+
+// initialState seeds the held set from `// locked: recv.mu` doc lines.
+func (lg *lockGuard) initialState(fd *ast.FuncDecl) heldSet {
+	st := make(heldSet)
+	if fd.Doc == nil {
+		return st
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		m := lockedRe.FindStringSubmatch(text)
+		if m == nil {
+			continue
+		}
+		key := m[1] + "." + m[2]
+		node := key
+		if rt := recvTypeName(fd); rt != "" && m[1] == recvName(fd) {
+			node = rt + "." + m[2]
+		}
+		st[key] = heldLock{mode: 'W', node: node}
+	}
+	return st
+}
+
+func recvName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch e := t.(type) {
+		case *ast.StarExpr:
+			t = e.X
+		case *ast.IndexExpr:
+			t = e.X
+		case *ast.IndexListExpr:
+			t = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// walkStmt processes one statement against the current lock state, mutating
+// st in place. It returns true when the statement terminates the control
+// path (return, branch, panic) so callers can discard the branch on merges.
+func (lg *lockGuard) walkStmt(s ast.Stmt, st heldSet) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			if lg.walkStmt(sub, st) {
+				return true
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if lg.applyLockOp(call, st) {
+				return false
+			}
+			if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+				// Immediately-invoked literal: runs inline with this state and
+				// its lock effects persist.
+				for _, a := range call.Args {
+					lg.checkExpr(a, st, false)
+				}
+				lg.handled[lit] = true
+				return lg.walkStmt(lit.Body, st)
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				lg.checkExpr(s.X, st, false)
+				return true
+			}
+		}
+		lg.checkExpr(s.X, st, false)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			lg.checkExpr(r, st, false)
+		}
+		for _, l := range s.Lhs {
+			lg.checkExpr(l, st, true)
+		}
+		lg.recordCtorLocals(s)
+	case *ast.IncDecStmt:
+		lg.checkExpr(s.X, st, true)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					lg.checkExpr(v, st, false)
+				}
+				lg.recordCtorSpec(vs)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			lg.checkExpr(r, st, false)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.DeferStmt:
+		if _, _, acq, isLockOp := lg.lockOp(s.Call); isLockOp {
+			// defer mu.Unlock(): the lock stays held to the end of the body,
+			// which is exactly what leaving the state untouched models.
+			_ = acq
+			return false
+		}
+		for _, a := range s.Call.Args {
+			lg.checkExpr(a, st, false)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			// Deferred literal: approximate its lock environment with the
+			// state at the defer site (the dominant `mu.Lock(); defer func(){...}()`
+			// shape makes this the useful reading).
+			lg.handled[lit] = true
+			lg.walkStmt(lit.Body, cloneState(st))
+		}
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			lg.checkExpr(a, st, false)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			// A goroutine body runs with no inherited locks.
+			lg.handled[lit] = true
+			lg.walkStmt(lit.Body, make(heldSet))
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lg.walkStmt(s.Init, st)
+		}
+		lg.checkExpr(s.Cond, st, false)
+		thenSt := cloneState(st)
+		tThen := lg.walkStmt(s.Body, thenSt)
+		if s.Else != nil {
+			elseSt := cloneState(st)
+			tElse := lg.walkStmt(s.Else, elseSt)
+			switch {
+			case tThen && tElse:
+				return true
+			case tThen:
+				replaceState(st, elseSt)
+			case tElse:
+				replaceState(st, thenSt)
+			default:
+				base := cloneState(thenSt)
+				intersectInto(st, base, elseSt)
+			}
+			return false
+		}
+		if !tThen {
+			base := cloneState(st)
+			intersectInto(st, thenSt, base)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lg.walkStmt(s.Init, st)
+		}
+		lg.checkExpr(s.Cond, st, false)
+		body := cloneState(st)
+		lg.walkStmt(s.Body, body)
+		if s.Post != nil {
+			lg.walkStmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		lg.checkExpr(s.X, st, false)
+		body := cloneState(st)
+		lg.walkStmt(s.Body, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lg.walkStmt(s.Init, st)
+		}
+		lg.checkExpr(s.Tag, st, false)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			cs := cloneState(st)
+			for _, e := range cc.List {
+				lg.checkExpr(e, cs, false)
+			}
+			for _, sub := range cc.Body {
+				if lg.walkStmt(sub, cs) {
+					break
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			lg.walkStmt(s.Init, st)
+		}
+		lg.walkStmt(s.Assign, st)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			cs := cloneState(st)
+			for _, sub := range cc.Body {
+				if lg.walkStmt(sub, cs) {
+					break
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			cs := cloneState(st)
+			if cc.Comm != nil {
+				lg.walkStmt(cc.Comm, cs)
+			}
+			for _, sub := range cc.Body {
+				if lg.walkStmt(sub, cs) {
+					break
+				}
+			}
+		}
+	case *ast.SendStmt:
+		lg.checkExpr(s.Chan, st, false)
+		lg.checkExpr(s.Value, st, false)
+	case *ast.LabeledStmt:
+		return lg.walkStmt(s.Stmt, st)
+	}
+	return false
+}
+
+// checkExpr flags guarded-field accesses in e against the current state.
+// write marks the whole expression as a mutation context (assignment LHS,
+// ++/--, address-taken operands).
+func (lg *lockGuard) checkExpr(e ast.Expr, st heldSet, write bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if !lg.handled[n] {
+				// A literal stored or passed along may run anywhere: assume
+				// no inherited locks.
+				lg.handled[n] = true
+				lg.walkStmt(n.Body, make(heldSet))
+			}
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && !write {
+				lg.checkExpr(n.X, st, true)
+				return false
+			}
+		case *ast.CallExpr:
+			lg.callEdges(n, st)
+		case *ast.SelectorExpr:
+			lg.checkSel(n, st, write)
+		}
+		return true
+	})
+}
+
+// checkSel checks a single selector against the guard annotations.
+func (lg *lockGuard) checkSel(sel *ast.SelectorExpr, st heldSet, write bool) {
+	s := lg.info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	// Pos-keyed lookup so fields of generic instantiations resolve to their
+	// declaration's annotation.
+	g, ok := lg.guards[v.Pos()]
+	if !ok {
+		return
+	}
+	base := types.ExprString(sel.X)
+	if strings.Contains(base, "(") {
+		return // call-derived receiver: not canonicalizable, skip
+	}
+	if id := rootIdent(sel.X); id != nil && lg.ctor[lg.info.ObjectOf(id)] {
+		return // object still under construction, not yet shared
+	}
+	key := base + "." + g.mu
+	h, held := st[key]
+	if !held {
+		if !lg.pass.Suppressed(sel.Pos(), lockGuardMarker) {
+			lg.pass.Reportf(sel.Sel.Pos(), "%s.%s is guarded by %s, but %s is not held here", g.typeName, g.field, g.mu, key)
+		}
+		return
+	}
+	if write && g.rw && h.mode == 'R' {
+		if !lg.pass.Suppressed(sel.Pos(), lockGuardMarker) {
+			lg.pass.Reportf(sel.Sel.Pos(), "write to %s.%s while %s is held in read mode; writes need %s.Lock()", g.typeName, g.field, key, key)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Lock operations and the acquisition graph
+
+// lockOp decodes a sync.(RW)Mutex Lock/RLock/Unlock/RUnlock call: the locker
+// expression, the mode on acquire, and whether it acquires or releases.
+func (lg *lockGuard) lockOp(call *ast.CallExpr) (locker ast.Expr, mode byte, acquire, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, 0, false, false
+	}
+	fn := FuncFor(lg.info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, 0, false, false
+	}
+	switch fn.Name() {
+	case "Lock":
+		return sel.X, 'W', true, true
+	case "RLock":
+		return sel.X, 'R', true, true
+	case "Unlock", "RUnlock":
+		return sel.X, 0, false, true
+	}
+	return nil, 0, false, false
+}
+
+// applyLockOp mutates st for a statement that is exactly a lock or unlock
+// call, recording acquisition-order edges from every lock already held.
+func (lg *lockGuard) applyLockOp(call *ast.CallExpr, st heldSet) bool {
+	x, mode, acquire, ok := lg.lockOp(call)
+	if !ok {
+		return false
+	}
+	key := types.ExprString(x)
+	if acquire {
+		node := lg.nodeFor(x)
+		for _, h := range st {
+			lg.addEdge(h.node, node, call.Pos())
+		}
+		st[key] = heldLock{mode: mode, node: node}
+	} else {
+		delete(st, key)
+	}
+	return true
+}
+
+// nodeFor names a mutex expression at the type level ("Logger.mu") so the
+// acquisition graph is instance-independent.
+func (lg *lockGuard) nodeFor(x ast.Expr) string {
+	if sel, ok := ast.Unparen(x).(*ast.SelectorExpr); ok {
+		t := lg.info.TypeOf(sel.X)
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + sel.Sel.Name
+		}
+	}
+	if id, ok := ast.Unparen(x).(*ast.Ident); ok {
+		return lg.pass.Pkg.Name + "." + id.Name
+	}
+	return types.ExprString(x)
+}
+
+// callEdges adds acquisition edges for locks the callee (transitively)
+// acquires while the caller already holds locks.
+func (lg *lockGuard) callEdges(call *ast.CallExpr, st heldSet) {
+	if len(st) == 0 {
+		return
+	}
+	fn := FuncFor(lg.info, call)
+	if fn == nil {
+		return
+	}
+	for node := range lg.closure[fn] {
+		for _, h := range st {
+			lg.addEdge(h.node, node, call.Pos())
+		}
+	}
+}
+
+// addEdge records from -> to (first site wins; same-node edges are skipped —
+// ordering between instances of one type is out of scope).
+func (lg *lockGuard) addEdge(from, to string, pos token.Pos) {
+	if from == to {
+		return
+	}
+	m := lg.edges[from]
+	if m == nil {
+		m = make(map[string]token.Pos)
+		lg.edges[from] = m
+	}
+	if _, dup := m[to]; !dup {
+		m[to] = pos
+	}
+}
+
+// reportCycles runs a DFS over the acquisition graph and reports each
+// distinct ordering cycle once.
+func (lg *lockGuard) reportCycles() {
+	nodeSet := make(map[string]bool)
+	for from, tos := range lg.edges {
+		nodeSet[from] = true
+		for to := range tos {
+			nodeSet[to] = true
+		}
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	state := make(map[string]int) // 0 unvisited, 1 on stack, 2 done
+	reported := make(map[string]bool)
+	var stack []string
+	var dfs func(n string)
+	dfs = func(n string) {
+		state[n] = 1
+		stack = append(stack, n)
+		tos := make([]string, 0, len(lg.edges[n]))
+		for to := range lg.edges[n] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			switch state[to] {
+			case 0:
+				dfs(to)
+			case 1:
+				i := 0
+				for j, s := range stack {
+					if s == to {
+						i = j
+						break
+					}
+				}
+				cyc := append(append([]string{}, stack[i:]...), to)
+				sig := cycleSig(cyc[:len(cyc)-1])
+				if !reported[sig] {
+					reported[sig] = true
+					lg.pass.Reportf(lg.edges[n][to], "mutex acquisition-order cycle: %s", strings.Join(cyc, " -> "))
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[n] = 2
+	}
+	for _, n := range nodes {
+		if state[n] == 0 {
+			dfs(n)
+		}
+	}
+}
+
+// cycleSig canonicalizes a cycle by rotating its smallest node first.
+func cycleSig(cyc []string) string {
+	if len(cyc) == 0 {
+		return ""
+	}
+	min := 0
+	for i, s := range cyc {
+		if s < cyc[min] {
+			min = i
+		}
+	}
+	rot := append(append([]string{}, cyc[min:]...), cyc[:min]...)
+	return strings.Join(rot, "->")
+}
+
+// ---------------------------------------------------------------------------
+// Small helpers
+
+func cloneState(st heldSet) heldSet {
+	out := make(heldSet, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+func replaceState(dst, src heldSet) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// intersectInto sets dst to the locks held in both a and b, demoting to read
+// mode when either side only holds the read lock.
+func intersectInto(dst, a, b heldSet) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, va := range a {
+		if vb, held := b[k]; held {
+			if vb.mode == 'R' {
+				va.mode = 'R'
+			}
+			dst[k] = va
+		}
+	}
+}
+
+// recordCtorLocals tracks `x := &T{...}` / `x := T{...}` / `x := new(T)`
+// locals: until x escapes, its guarded fields may be initialized without the
+// lock (the object is not yet shared).
+func (lg *lockGuard) recordCtorLocals(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, l := range s.Lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := lg.info.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		if isCtorExpr(s.Rhs[i]) {
+			lg.ctor[obj] = true
+		} else {
+			delete(lg.ctor, obj)
+		}
+	}
+}
+
+func (lg *lockGuard) recordCtorSpec(vs *ast.ValueSpec) {
+	if len(vs.Names) != len(vs.Values) {
+		return
+	}
+	for i, id := range vs.Names {
+		if !isCtorExpr(vs.Values[i]) {
+			continue
+		}
+		if obj := lg.info.ObjectOf(id); obj != nil {
+			lg.ctor[obj] = true
+		}
+	}
+}
+
+func isCtorExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// rootIdent returns the identifier at the base of a selector/index chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

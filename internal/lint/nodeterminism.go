@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NodeterminismAnalyzer keeps internal/core and internal/wal replayable: the
+// engine's recovery story is "re-run the log and land in the same state", and
+// the planned scenario harness replays whole workloads. Both break the moment
+// core logic consults the wall clock, a shared random source, or Go's
+// randomized map iteration order for anything that reaches a result. Test
+// files are exempt (they are not part of the replayed engine).
+var NodeterminismAnalyzer = &Analyzer{
+	Name: "nodeterminism",
+	Doc: "forbids time.Now/Since/Until, the global math/rand source, and " +
+		"map-order iteration with order-dependent sinks (append, Write*, " +
+		"channel send) inside internal/core and internal/wal",
+	Run: runNodeterminism,
+}
+
+const nodetMarker = "nondeterminism:ok"
+
+// deterministicRandCtors are math/rand functions that build a seeded, local
+// source — fine, because the caller controls the seed.
+var deterministicRandCtors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewChaCha8": true,
+	"NewPCG":     true,
+	"NewZipf":    true,
+}
+
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runNodeterminism(pass *Pass) error {
+	if !PathHasSuffixSeg(pass.Pkg.ImportPath, "/internal/core") &&
+		!PathHasSuffixSeg(pass.Pkg.ImportPath, "/internal/wal") {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkNodetCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, file, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkNodetCall(pass *Pass, call *ast.CallExpr) {
+	fn := FuncFor(pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods on a caller-owned source/timer are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] && !pass.Suppressed(call.Pos(), nodetMarker) {
+			pass.Reportf(call.Pos(), "time.%s in %s: replay and recovery must be deterministic — thread timestamps in from the caller", fn.Name(), pass.Pkg.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !deterministicRandCtors[fn.Name()] && !pass.Suppressed(call.Pos(), nodetMarker) {
+			pass.Reportf(call.Pos(), "global math/rand source (%s.%s) in %s: use a seeded *rand.Rand owned by the caller", pathBase(fn.Pkg().Path()), fn.Name(), pass.Pkg.Name)
+		}
+	}
+}
+
+// checkMapRange flags `for ... := range m` over a map when the body feeds an
+// order-dependent sink: appending to a slice declared outside the loop,
+// calling a Write*-named method, or sending on a channel. Appends whose
+// slice is later passed to sort/slices are exempt — collect-then-sort is the
+// deterministic idiom.
+func checkMapRange(pass *Pass, file *ast.File, rs *ast.RangeStmt) {
+	t := pass.Pkg.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	info := pass.Pkg.Info
+	var sinkDesc string
+	var appendObj types.Object
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if sinkDesc != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && len(n.Args) > 0 {
+				dst := rootIdent(n.Args[0])
+				if dst == nil {
+					return true
+				}
+				obj := info.ObjectOf(dst)
+				if obj != nil && obj.Pos() < rs.Pos() {
+					sinkDesc = "appends to " + dst.Name
+					appendObj = obj
+				}
+			} else if sel, ok := n.Fun.(*ast.SelectorExpr); ok && strings.HasPrefix(sel.Sel.Name, "Write") {
+				sinkDesc = "calls " + sel.Sel.Name
+			}
+		case *ast.SendStmt:
+			sinkDesc = "sends on a channel"
+		}
+		return true
+	})
+	if sinkDesc == "" {
+		return
+	}
+	if appendObj != nil && sortedLater(pass, file, appendObj, rs.End()) {
+		return
+	}
+	if pass.Suppressed(rs.Pos(), nodetMarker) {
+		return
+	}
+	pass.Reportf(rs.Pos(), "map iteration order reaches a result: the loop body %s; iterate a sorted key slice instead", sinkDesc)
+}
+
+// sortedLater reports whether obj is subsequently handed to sort/slices,
+// which re-establishes a deterministic order.
+func sortedLater(pass *Pass, file *ast.File, obj types.Object, after token.Pos) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after {
+			return true
+		}
+		fn := FuncFor(pass.Pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, a := range call.Args {
+			if id := rootIdent(a); id != nil && pass.Pkg.Info.ObjectOf(id) == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func pathBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		WALErrAnalyzer,
+		ScanPathAnalyzer,
+		LockGuardAnalyzer,
+		NodeterminismAnalyzer,
+	}
+}
+
+// Run loads the packages matched by patterns (relative to dir), applies
+// every analyzer to every package, prints the diagnostics to w sorted by
+// position, and returns how many there were.
+func Run(w io.Writer, dir string, analyzers []*Analyzer, patterns []string) (int, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return 0, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, az := range analyzers {
+			ds, err := Analyze(az, pkg)
+			if err != nil {
+				return len(diags), fmt.Errorf("lint: %s on %s: %v", az.Name, pkg.ImportPath, err)
+			}
+			diags = append(diags, ds...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	return len(diags), nil
+}
+
+// Analyze applies one analyzer to one loaded package and returns its
+// diagnostics.
+func Analyze(az *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{Analyzer: az, Pkg: pkg, diags: &diags}
+	if err := az.Run(pass); err != nil {
+		return diags, err
+	}
+	return diags, nil
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"strconv"
+)
+
+// ScanPathAnalyzer enforces the "one scan engine" invariant: the page codecs
+// (internal/page) and the page directory (internal/pagedir) are implementation
+// details of internal/core, where rangeScanner/probeSlot and the Query planner
+// own every read path. Any other package that imports them is building a
+// second, unvalidated read path — the exact bug class of stale-read shortcuts
+// in HTAP engines — and gets flagged at the import.
+var ScanPathAnalyzer = &Analyzer{
+	Name: "scanpath",
+	Doc: "flags imports of internal/page or internal/pagedir outside " +
+		"internal/core; reads must go through the scan engine (rangeScanner/" +
+		"probeSlot/Query), never decode pages or walk slots directly",
+	Run: runScanPath,
+}
+
+const scanPathMarker = "scanpath:ok"
+
+// scanPathSealed are the package path segments only internal/core may import.
+var scanPathSealed = []string{"/internal/page", "/internal/pagedir"}
+
+func runScanPath(pass *Pass) error {
+	if PathHasSuffixSeg(pass.Pkg.ImportPath, "/internal/core") {
+		return nil // the scan engine itself
+	}
+	for _, seg := range scanPathSealed {
+		if PathHasSuffixSeg(pass.Pkg.ImportPath, seg) {
+			return nil // the sealed package's own sources
+		}
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			for _, seg := range scanPathSealed {
+				if !PathHasSuffixSeg(path, seg) {
+					continue
+				}
+				if pass.Suppressed(imp.Pos(), scanPathMarker) {
+					continue
+				}
+				pass.Reportf(imp.Pos(), "package %s imports %s: page decoding and slot walks outside internal/core bypass the one scan engine (use rangeScanner/probeSlot via the Query API)", pass.Pkg.ImportPath, path)
+			}
+		}
+	}
+	return nil
+}

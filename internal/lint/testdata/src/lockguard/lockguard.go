@@ -1,0 +1,148 @@
+// Package lockguard is the lockguard analyzer fixture: guarded-field
+// annotations with violations (unguarded reads, writes under RLock, a lock
+// ordering cycle, a dangling annotation) next to the intended patterns that
+// must stay clean (defer unlock, locked: preconditions, constructor locals,
+// branch-merged acquisition, deferred closures).
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) bad() int {
+	return c.n // want "counter.n is guarded by mu"
+}
+
+func (c *counter) badAfterUnlock() int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	return n + c.n // want "counter.n is guarded by mu"
+}
+
+// addLocked runs with the lock already held, declared by the precondition.
+//
+// locked: c.mu
+func (c *counter) addLocked(d int) { c.n += d }
+
+func (c *counter) viaHelper(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addLocked(d)
+}
+
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1 // constructor-local object, not yet shared: clean
+	return c
+}
+
+func (c *counter) badGoroutine() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want "counter.n is guarded by mu"
+	}()
+}
+
+func (c *counter) deferredCleanup() {
+	c.mu.Lock()
+	defer func() {
+		c.n = 0 // runs with the state at the defer site: clean
+		c.mu.Unlock()
+	}()
+	c.n++
+}
+
+func (c *counter) waived() int {
+	return c.n //lockguard:ok fixture: intentionally unguarded
+}
+
+type table struct {
+	rw   sync.RWMutex
+	rows map[int]int // guarded by rw
+}
+
+func (t *table) get(k int) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.rows[k]
+}
+
+func (t *table) badWriteUnderRLock(k, v int) {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	t.rows[k] = v // want "read mode"
+}
+
+func (t *table) branchMerged(k int, fast bool) int {
+	if fast {
+		t.rw.RLock()
+	} else {
+		t.rw.RLock()
+	}
+	v := t.rows[k] // both branches acquired the lock: clean
+	t.rw.RUnlock()
+	return v
+}
+
+func (t *table) halfLocked(k int, maybe bool) int {
+	if maybe {
+		t.rw.RLock()
+		defer t.rw.RUnlock()
+	}
+	return t.rows[k] // want "table.rows is guarded by rw"
+}
+
+type box[V any] struct {
+	mu sync.Mutex
+	v  V // guarded by mu
+}
+
+func getBox(b *box[int]) int {
+	return b.v // want "box.v is guarded by mu"
+}
+
+func getBoxLocked(b *box[int]) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.v
+}
+
+type dangling struct {
+	n int // guarded by missing — want "no field named missing"
+}
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	x int // guarded by a
+	y int // guarded by b
+}
+
+func (p *pair) ab() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.x++
+	p.y++
+}
+
+func (p *pair) ba() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock() // want "mutex acquisition-order cycle"
+	defer p.a.Unlock()
+	p.x++
+	p.y++
+}

@@ -1,0 +1,66 @@
+// Package core mirrors internal/core's path for the nodeterminism fixture:
+// wall-clock reads, the global rand source, and order-dependent map iteration
+// are flagged; caller-owned sources, collect-then-sort, commutative folds,
+// and waived loops stay clean.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// --- flagged patterns ---------------------------------------------------
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+func sinceStart(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "global math/rand source"
+}
+
+func badOrder(m map[int]int) []int {
+	var out []int
+	for _, v := range m { // want "map iteration order"
+		out = append(out, v)
+	}
+	return out
+}
+
+// --- clean patterns -----------------------------------------------------
+
+func seededRand(r *rand.Rand) int {
+	return r.Intn(10) // method on a caller-owned source
+}
+
+func newSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // seeded constructor
+}
+
+func collectThenSort(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys) // re-establishes a deterministic order
+	return keys
+}
+
+func commutativeFold(m map[int]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func waived(m map[int]int, sink chan int) {
+	for _, v := range m { //nondeterminism:ok fixture: order immaterial here
+		sink <- v
+	}
+}

@@ -1,0 +1,15 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// Test files sit outside the replayed engine: the loader analyzes only
+// non-test sources, so this time.Now must produce no diagnostic. The fixture
+// test asserts no findings are reported for this file.
+func TestWallClockAllowedInTests(t *testing.T) {
+	if time.Now().IsZero() {
+		t.Fatal("clock is broken")
+	}
+}

@@ -1,0 +1,15 @@
+// Package bad is the scanpath positive fixture: a package outside
+// internal/core reaching directly for the page codecs and the page
+// directory — a second, unvalidated read path.
+package bad
+
+import (
+	"lstore/internal/page"    // want "imports lstore/internal/page"
+	"lstore/internal/pagedir" // want "imports lstore/internal/pagedir"
+)
+
+// Decode bypasses the scan engine.
+func Decode(r page.Reader, slot int) uint64 { return r.Get(slot) }
+
+// NewDir walks the page directory from outside the engine.
+func NewDir() *pagedir.Directory[int] { return pagedir.New[int]() }

@@ -1,0 +1,10 @@
+// Package core mirrors internal/core's path: the scan engine itself owns the
+// page codecs, so nothing in this file may be flagged (scanpath negative
+// fixture).
+package core
+
+import "lstore/internal/page"
+
+// probeSlot is the engine-side idiom scanpath protects: direct page access is
+// legal here.
+func probeSlot(r page.Reader, slot int) uint64 { return r.Get(slot) }

@@ -1,0 +1,66 @@
+// Package walerr is the walerr analyzer fixture: every way of dropping a WAL
+// error that must be flagged, next to the intended shapes that must stay
+// clean. The want comments are checked by fixture_test.go.
+package walerr
+
+import "lstore/internal/wal"
+
+type txnSink struct{ err error }
+
+func (s *txnSink) poison(err error) { s.err = err }
+
+// --- flagged patterns ---------------------------------------------------
+
+func discarded(l *wal.Logger) {
+	l.Flush() // want "error result of wal.Flush discarded"
+}
+
+func blankAssigned(l *wal.Logger) {
+	_, _ = l.Append(wal.Record{Kind: wal.KindBegin}) // want "assigned to _"
+}
+
+func assignedNeverRead(l *wal.Logger) {
+	err := l.Flush()
+	if err != nil {
+		return
+	}
+	err = l.Flush() // want "assigned to err but never read"
+}
+
+func checkedButSwallowed(l *wal.Logger) {
+	if err := l.Flush(); err != nil { // want "checked but swallowed"
+		println("flush failed")
+	}
+}
+
+func deferredAway(l *wal.Logger) {
+	defer l.Flush() // want "discarded by go/defer"
+}
+
+func commitDropped(l *wal.Logger) uint64 {
+	lsn, _ := l.AppendCommit(7) // want "assigned to _"
+	return lsn
+}
+
+// --- clean patterns -----------------------------------------------------
+
+func propagated(l *wal.Logger) error {
+	if err := l.Flush(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func poisoned(l *wal.Logger, s *txnSink) {
+	if _, err := l.Append(wal.Record{Kind: wal.KindAbort}); err != nil {
+		s.poison(err)
+	}
+}
+
+func returnedDirectly(l *wal.Logger) (uint64, error) {
+	return l.Append(wal.Record{Kind: wal.KindBegin})
+}
+
+func waived(l *wal.Logger) {
+	l.Flush() //wal:ignore-err fixture: intentional, reason recorded here
+}

@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WALErrAnalyzer flags calls to the WAL logger whose error result is dropped.
+//
+// This is the PR 5 bug class: a swallowed Append/Flush error leaves a torn
+// record prefix in the log buffer, and replay silently truncates at the first
+// unverifiable frame — every later commit looks durable but is not. The only
+// acceptable fates for these errors are propagation (return, pass to a
+// function such as poisonWAL, assignment that is later read) or an explicit
+// `//wal:ignore-err <reason>` waiver on the call line.
+var WALErrAnalyzer = &Analyzer{
+	Name: "walerr",
+	Doc: "flags wal.Logger.Append/AppendCommit/Flush/TruncateTo (and the wal " +
+		"package replay helpers) whose error result is discarded, blank-assigned, " +
+		"assigned but never read, or checked by an if that neither propagates " +
+		"nor consumes it",
+	Run: runWALErr,
+}
+
+const walErrMarker = "wal:ignore-err"
+
+// walLoggerMethods are the Logger methods whose error must not be dropped.
+var walLoggerMethods = map[string]bool{
+	"Append":       true,
+	"AppendCommit": true,
+	"Flush":        true,
+	"TruncateTo":   true,
+}
+
+// walPkgFuncs are package-level wal functions returning errors that gate
+// replay correctness.
+var walPkgFuncs = map[string]bool{
+	"ReadAll":           true,
+	"Redo":              true,
+	"RedoInCommitOrder": true,
+}
+
+func runWALErr(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		parents := pass.Pkg.Parents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := FuncFor(info, call)
+			if fn == nil || !isWALErrFunc(fn) {
+				return true
+			}
+			if pass.Suppressed(call.Pos(), walErrMarker) {
+				return true
+			}
+			errIdx := errResultIndex(fn)
+			if errIdx < 0 {
+				return true
+			}
+			checkErrUse(pass, file, parents, call, fn, errIdx)
+			return true
+		})
+	}
+	return nil
+}
+
+// isWALErrFunc reports whether fn is one of the guarded wal entry points:
+// a Logger method or a package-level replay helper of a package whose import
+// path ends in /internal/wal.
+func isWALErrFunc(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil || !PathHasSuffixSeg(pkg.Path(), "/internal/wal") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Name() == "Logger" && walLoggerMethods[fn.Name()]
+	}
+	return walPkgFuncs[fn.Name()]
+}
+
+// errResultIndex returns the index of fn's error result, or -1.
+func errResultIndex(fn *types.Func) int {
+	sig := fn.Type().(*types.Signature)
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return i
+		}
+	}
+	return -1
+}
+
+// checkErrUse classifies what happens to the error result of call and reports
+// the drop patterns.
+func checkErrUse(pass *Pass, file *ast.File, parents map[ast.Node]ast.Node, call *ast.CallExpr, fn *types.Func, errIdx int) {
+	parent := parents[call]
+	// Unwrap parenthesization between the call and its consumer.
+	for {
+		if p, ok := parent.(*ast.ParenExpr); ok {
+			parent = parents[p]
+			continue
+		}
+		break
+	}
+	switch p := parent.(type) {
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(), "error result of wal.%s discarded; a dropped WAL error hides a torn log prefix (propagate it or poison the txn)", fn.Name())
+	case *ast.AssignStmt:
+		// Tuple assign from the call: the error lands at LHS[errIdx] when the
+		// call is the sole RHS, or at the matching position otherwise.
+		lhs := errLHS(p, call, errIdx)
+		if lhs == nil {
+			return // call feeds a larger expression; treat the value as consumed
+		}
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return // stored into a field or element: consumed
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(), "error result of wal.%s assigned to _; a dropped WAL error hides a torn log prefix (propagate it or poison the txn)", fn.Name())
+			return
+		}
+		obj := pass.Pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Pkg.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		uses := objectUses(pass.Pkg.Info, file, obj, id)
+		if len(uses) == 0 {
+			pass.Reportf(call.Pos(), "error result of wal.%s assigned to %s but never read", fn.Name(), id.Name)
+			return
+		}
+		if !anyRealErrUse(pass, parents, obj, uses) {
+			pass.Reportf(call.Pos(), "error result of wal.%s is checked but swallowed: no branch returns, panics, or consumes %s", fn.Name(), id.Name)
+		}
+	case *ast.GoStmt, *ast.DeferStmt:
+		pass.Reportf(call.Pos(), "error result of wal.%s discarded by go/defer", fn.Name())
+	}
+}
+
+// errLHS finds the assignment target holding the error result.
+func errLHS(assign *ast.AssignStmt, call *ast.CallExpr, errIdx int) ast.Expr {
+	if len(assign.Rhs) == 1 && assign.Rhs[0] == call {
+		if errIdx < len(assign.Lhs) {
+			return assign.Lhs[errIdx]
+		}
+		return nil
+	}
+	for i, rhs := range assign.Rhs {
+		if rhs == call && i < len(assign.Lhs) {
+			return assign.Lhs[i]
+		}
+	}
+	return nil
+}
+
+// objectUses returns every use of obj in file after (and excluding) def.
+func objectUses(info *types.Info, file *ast.File, obj types.Object, def *ast.Ident) []*ast.Ident {
+	var uses []*ast.Ident
+	ast.Inspect(file, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def || id.Pos() <= def.Pos() {
+			return true
+		}
+		if info.Uses[id] == obj {
+			uses = append(uses, id)
+		}
+		return true
+	})
+	return uses
+}
+
+// anyRealErrUse reports whether at least one use of the error either consumes
+// it directly (returned, passed to a call, re-assigned, stored) or guards an
+// if whose body propagates (contains a return, panic, or another consuming
+// use of the error).
+func anyRealErrUse(pass *Pass, parents map[ast.Node]ast.Node, obj types.Object, uses []*ast.Ident) bool {
+	for _, u := range uses {
+		if classifyErrUse(pass, parents, obj, u) {
+			return true
+		}
+	}
+	return false
+}
+
+func classifyErrUse(pass *Pass, parents map[ast.Node]ast.Node, obj types.Object, use *ast.Ident) bool {
+	// Walk up from the use to find how it is consumed.
+	var child ast.Node = use
+	for n := parents[use]; n != nil; n = parents[n] {
+		switch p := n.(type) {
+		case *ast.ReturnStmt, *ast.CallExpr, *ast.CompositeLit, *ast.SendStmt:
+			return true
+		case *ast.AssignStmt:
+			// err on the RHS of another assignment: consumed. On the LHS it is
+			// being overwritten, which is not a use.
+			for _, rhs := range p.Rhs {
+				if containsNode(rhs, child) {
+					return true
+				}
+			}
+			return false
+		case *ast.IfStmt:
+			if p.Cond != nil && containsNode(p.Cond, child) {
+				return ifBodyPropagates(pass, p, obj)
+			}
+			return false
+		case *ast.BinaryExpr, *ast.ParenExpr, *ast.UnaryExpr:
+			child = n
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// ifBodyPropagates reports whether the body of an `if err != nil` check does
+// anything with the failure: returns, panics, or touches the error again.
+func ifBodyPropagates(pass *Pass, ifStmt *ast.IfStmt, obj types.Object) bool {
+	propagates := false
+	ast.Inspect(ifStmt.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			propagates = true
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				propagates = true
+			}
+		case *ast.Ident:
+			if pass.Pkg.Info.Uses[n] == obj {
+				propagates = true
+			}
+		}
+		return !propagates
+	})
+	return propagates
+}
+
+// containsNode reports whether target is within the subtree rooted at root.
+func containsNode(root, target ast.Node) bool {
+	if root == target {
+		return true
+	}
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -22,7 +22,7 @@ type Directory[V any] struct {
 
 type shard[V any] struct {
 	mu sync.RWMutex
-	m  map[uint64]V
+	m  map[uint64]V // guarded by mu
 }
 
 // New returns an empty directory.

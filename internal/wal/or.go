@@ -23,15 +23,15 @@ import (
 // ORPage is one page guarded by the OR protocol.
 type ORPage struct {
 	mu        sync.RWMutex // the page latch (shared for writers, exclusive for owners)
-	stateMu   sync.Mutex   // guards ownerLSN/pageLSN/admission bookkeeping
-	cond      *sync.Cond   // admission control for the θs drain
-	ownerLSN  uint64
-	pageLSN   uint64
-	granted   int  // shared latches granted since the last flush
-	draining  bool // no new writers until the current group drains
-	threshold int
-	applied   uint64 // highest LSN whose content change is applied (test oracle)
-	flushes   int
+	stateMu   sync.Mutex   // protects the ownerLSN/pageLSN/admission bookkeeping
+	cond      *sync.Cond   // immutable after NewORPage; admission control for the θs drain
+	ownerLSN  uint64       // guarded by stateMu
+	pageLSN   uint64       // guarded by stateMu
+	granted   int          // guarded by stateMu; shared latches granted since the last flush
+	draining  bool         // guarded by stateMu; no new writers until the current group drains
+	threshold int          // immutable after NewORPage
+	applied   uint64       // guarded by stateMu; highest applied content LSN (test oracle)
+	flushes   int          // guarded by stateMu
 }
 
 // NewORPage returns a page with the given starvation threshold θs.

@@ -24,7 +24,7 @@ type TruncatableSink interface {
 // multiple committers) and doubles as the recovery source via Reader.
 type BufferSink struct {
 	mu  sync.Mutex
-	buf []byte
+	buf []byte // guarded by mu
 }
 
 // Write appends p to the retained bytes.

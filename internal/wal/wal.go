@@ -110,26 +110,27 @@ type lsnOffset struct {
 // Logger is the append-only redo log with group commit.
 type Logger struct {
 	mu       sync.Mutex
-	w        *bufio.Writer
-	sink     io.Writer
-	nextLSN  uint64
-	flushed  uint64 // highest LSN guaranteed durable
-	synced   func() // optional fsync hook
-	syncs    int
-	appended int
+	w        *bufio.Writer // guarded by mu
+	sink     io.Writer     // immutable after NewLogger
+	nextLSN  uint64        // guarded by mu
+	flushed  uint64        // guarded by mu; highest LSN guaranteed durable
+	synced   func()        // immutable after NewLogger; optional fsync hook
+	syncs    int           // guarded by mu
+	appended int           // guarded by mu
 
 	// err is the sticky poisoning error: once a record write or flush fails,
 	// the buffer (or the sink) may hold a torn record prefix that would
 	// silently end replay, so every later Append/Flush fails with this error
 	// instead of appending records durability can never cover.
+	// guarded by mu
 	err error
 
 	// Truncation bookkeeping (tracked only when the sink supports it).
-	trackOffsets bool
-	written      int64       // total bytes handed to the buffered writer
-	dropped      int64       // bytes already discarded from the sink's front
-	offsets      []lsnOffset // end offsets of retained records, ascending
-	truncated    uint64      // highest LSN discarded by TruncateTo
+	trackOffsets bool        // immutable after NewLogger
+	written      int64       // guarded by mu; total bytes handed to the buffered writer
+	dropped      int64       // guarded by mu; bytes already discarded from the sink's front
+	offsets      []lsnOffset // guarded by mu; end offsets of retained records, ascending
+	truncated    uint64      // guarded by mu; highest LSN discarded by TruncateTo
 }
 
 // NewLogger wraps sink (a file or buffer). syncFn, if non-nil, is invoked on
@@ -188,6 +189,7 @@ func (l *Logger) Flush() error {
 	return l.flushLocked()
 }
 
+// locked: l.mu
 func (l *Logger) flushLocked() error {
 	if l.err != nil {
 		return l.err
@@ -204,7 +206,9 @@ func (l *Logger) flushLocked() error {
 	return nil
 }
 
-// poison records the first write failure; callers hold l.mu.
+// poison records the first write failure.
+//
+// locked: l.mu
 func (l *Logger) poison(cause error) {
 	if l.err == nil {
 		l.err = fmt.Errorf("wal: log poisoned by earlier write failure (%v); later records could silently truncate on replay", cause)
