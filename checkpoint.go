@@ -10,8 +10,16 @@ import (
 	"sync"
 	"time"
 
+	"lstore/internal/fault"
 	"lstore/internal/types"
 	"lstore/internal/wal"
+)
+
+// Crash points on the checkpoint path (no-ops in production).
+var (
+	cpCkptPostCut     = fault.Register("ckpt.post-cut")
+	cpCkptPreEnd      = fault.Register("ckpt.pre-end")
+	cpCkptPreTruncate = fault.Register("ckpt.round.pre-truncate")
 )
 
 // This file is the checkpoint/restore half of the durability subsystem: a
@@ -79,6 +87,7 @@ func (db *DB) Checkpoint(w io.Writer) (CheckpointInfo, error) {
 		lsn = db.logger.FlushedLSN()
 	}
 	db.commitMu.Unlock()
+	cpCkptPostCut.Hit() // crash here: cut taken, no image bytes written yet
 
 	db.mu.RLock()
 	tables := append([]*Table(nil), db.byID...)
@@ -99,6 +108,7 @@ func (db *DB) Checkpoint(w io.Writer) (CheckpointInfo, error) {
 			return info, err
 		}
 	}
+	cpCkptPreEnd.Hit() // crash here: image body written but no end frame — torn image
 	end := []byte{frameEnd}
 	end = binary.AppendUvarint(end, uint64(info.Rows))
 	if err := wal.WriteFrame(w, end); err != nil {
@@ -514,6 +524,7 @@ func (db *DB) checkpointRound() {
 	if err := db.ckptSink.Checkpoint(buf.Bytes(), info); err != nil {
 		return // previous checkpoint stays authoritative
 	}
+	cpCkptPreTruncate.Hit() // crash here: new image durable, old log not yet truncated
 	if db.logger != nil {
 		db.TruncateWAL(info.LSN) //nolint:errcheck // non-truncatable sinks keep their log
 	}

@@ -9,8 +9,18 @@ import (
 
 	"lstore/internal/core"
 	"lstore/internal/epoch"
+	"lstore/internal/fault"
 	"lstore/internal/txn"
 	"lstore/internal/wal"
+)
+
+// Crash points on the commit and recovery paths (no-ops in production; the
+// crash-torture suite trips them to prove every cut recovers cleanly).
+var (
+	cpCommitPreAppend  = fault.Register("db.commit.pre-append")
+	cpCommitPostAppend = fault.Register("db.commit.post-append")
+	cpRecoverPostRest  = fault.Register("recover.post-restore")
+	cpRecoverPreRedo   = fault.Register("recover.pre-redo-txn")
 )
 
 // DB is a collection of tables sharing one transaction manager (one logical
@@ -393,6 +403,7 @@ func (t *Txn) Commit() error {
 		return err
 	}
 	t.committed = true
+	cpCommitPreAppend.Hit() // crash here: in-memory commit durable nowhere — recovery must drop it
 	commitLSN, werr := t.db.logger.AppendCommit(t.inner.ID)
 	t.db.commitMu.RUnlock()
 	if werr != nil {
@@ -401,6 +412,7 @@ func (t *Txn) Commit() error {
 		t.db.forgetTxn(t.inner.ID)
 		return fmt.Errorf("%w: %v", ErrDurabilityUnknown, werr)
 	}
+	cpCommitPostAppend.Hit() // crash here: commit durable but unacknowledged — recovery may keep it
 	t.db.noteCommitLSN(t.inner.ID, commitLSN)
 	return nil
 }
@@ -476,6 +488,7 @@ func Recover(db *DB, checkpoint io.Reader, logTail io.Reader) (RecoverStats, err
 			return stats, err
 		}
 	}
+	cpRecoverPostRest.Hit() // crash here: double-crash between restore and tail redo
 	if logTail != nil {
 		records, err := wal.ReadAll(logTail)
 		if err != nil {
@@ -502,6 +515,7 @@ func Recover(db *DB, checkpoint io.Reader, logTail io.Reader) (RecoverStats, err
 // redoTxn re-applies one committed transaction's operations under a fresh
 // transaction, re-logging them (and the commit) when a WAL is attached.
 func (db *DB) redoTxn(group wal.TxnOps, stats *RecoverStats) error {
+	cpRecoverPreRedo.Hit() // crash here: double-crash mid-replay
 	tx := db.tm.Begin(txn.ReadCommitted)
 	relog := db.logger != nil
 	for _, rec := range group.Ops {

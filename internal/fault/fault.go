@@ -1,0 +1,166 @@
+// Package fault is the deterministic fault-injection layer behind the
+// crash-torture tests: it simulates the ways a disk betrays a database.
+//
+// Two instruments live here:
+//
+//   - Sink (sink.go) wraps any WAL or checkpoint sink with an injection
+//     plan — fail the Nth write, tear a write after k bytes, fail an fsync,
+//     fail once and heal, fail persistently (ENOSPC), or short-write with a
+//     nil error (a misbehaving io.Writer). Plans are plain data chosen by
+//     the caller, typically from a seeded *rand.Rand, so every failure a
+//     torture run finds is replayable from its logged seed.
+//
+//   - Crash points (this file): named markers threaded through the commit,
+//     checkpoint, truncation, and recovery paths. In production a point is
+//     a single atomic load and nothing else. A test arms a point with Trip;
+//     the next Hit panics with *Crash, which RunToCrash converts back into
+//     a value — simulating a process kill at exactly that boundary. The
+//     surviving state is whatever the sinks durably hold, and recovery must
+//     rebuild a committed prefix from those bytes alone.
+//
+// The registry is global (the points are package-level vars at their use
+// sites), so tests that arm points must not run concurrently with each
+// other; Reset restores the production no-op state.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Crash is the panic value raised by a tripped crash point: the moral
+// equivalent of SIGKILL at that exact code boundary.
+type Crash struct {
+	Point string
+}
+
+func (c *Crash) Error() string { return fmt.Sprintf("fault: simulated crash at point %q", c.Point) }
+
+// Point is one named crash site. Production code calls Hit at the site;
+// unarmed, that is one atomic load.
+type Point struct {
+	name string
+	// trip holds the armed countdown, nil while disarmed.
+	trip atomic.Pointer[tripState]
+	hits atomic.Int64 // total Hit calls while counting is enabled
+}
+
+type tripState struct {
+	remaining atomic.Int64 // crash when a Hit decrements this to zero
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]*Point{} // guarded by regMu
+	counting atomic.Bool
+)
+
+// Register declares a crash point. It is meant for package-level var
+// initialization at the site that will Hit it; registering the same name
+// twice returns the same point, so tests may also look points up by
+// re-registering.
+func Register(name string) *Point {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if p, ok := registry[name]; ok {
+		return p
+	}
+	p := &Point{name: name}
+	registry[name] = p
+	return p
+}
+
+// Name returns the point's registered name.
+func (p *Point) Name() string { return p.name }
+
+// Hit marks execution passing the point. Unarmed it is a no-op; armed, the
+// k-th Hit after arming panics with *Crash. Hits are counted while
+// EnableCounting is on, so a torture harness can measure how often a clean
+// run passes each point before choosing where to crash.
+func (p *Point) Hit() {
+	if counting.Load() {
+		p.hits.Add(1)
+	}
+	ts := p.trip.Load()
+	if ts == nil {
+		return
+	}
+	if ts.remaining.Add(-1) == 0 {
+		p.trip.Store(nil) // one-shot: a recovered harness must not re-crash
+		panic(&Crash{Point: p.name})
+	}
+}
+
+// Trip arms the named point: the nth subsequent Hit (1-based) panics with
+// *Crash. The trip is one-shot. Unknown names are registered on the fly so
+// a test can arm a point before the package that hits it is touched.
+func Trip(name string, nth int) {
+	if nth < 1 {
+		nth = 1
+	}
+	p := Register(name)
+	ts := &tripState{}
+	ts.remaining.Store(int64(nth))
+	p.trip.Store(ts)
+}
+
+// Reset disarms every point and clears hit counters — the production state.
+func Reset() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, p := range registry {
+		p.trip.Store(nil)
+		p.hits.Store(0)
+	}
+	counting.Store(false)
+}
+
+// EnableCounting turns on per-point hit counting (off in production).
+func EnableCounting() { counting.Store(true) }
+
+// Hits returns how many times the named point was Hit while counting was
+// enabled (0 for unknown points).
+func Hits(name string) int64 {
+	regMu.Lock()
+	p := registry[name]
+	regMu.Unlock()
+	if p == nil {
+		return 0
+	}
+	return p.hits.Load()
+}
+
+// Points returns every registered crash-point name, sorted. Importing the
+// packages that declare points (e.g. the database root and internal/wal) is
+// what populates the registry.
+func Points() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunToCrash runs fn, converting a tripped crash point's panic back into a
+// value: the returned *Crash is non-nil iff fn died at a crash point. Other
+// panics propagate. The crashed process's in-memory state is garbage by
+// construction — callers must discard it and continue from durable bytes
+// only, exactly like a real restart.
+func RunToCrash(fn func()) (crashed *Crash) {
+	defer func() {
+		if r := recover(); r != nil {
+			if c, ok := r.(*Crash); ok {
+				crashed = c
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return nil
+}

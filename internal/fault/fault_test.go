@@ -1,0 +1,173 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestCrashPointLifecycle(t *testing.T) {
+	defer Reset()
+	p := Register("test.point.a")
+	if got := Register("test.point.a"); got != p {
+		t.Fatal("re-registering returned a different point")
+	}
+	p.Hit() // unarmed: no-op
+
+	Trip("test.point.a", 3)
+	hits := 0
+	c := RunToCrash(func() {
+		for i := 0; i < 10; i++ {
+			hits++
+			p.Hit()
+		}
+	})
+	if c == nil || c.Point != "test.point.a" {
+		t.Fatalf("crash = %+v", c)
+	}
+	if hits != 3 {
+		t.Fatalf("crashed on hit %d, want 3", hits)
+	}
+	// One-shot: the recovered harness can pass the point again.
+	if c := RunToCrash(func() { p.Hit() }); c != nil {
+		t.Fatalf("tripped twice: %v", c)
+	}
+}
+
+func TestCrashPointCountingAndReset(t *testing.T) {
+	defer Reset()
+	p := Register("test.point.count")
+	EnableCounting()
+	for i := 0; i < 5; i++ {
+		p.Hit()
+	}
+	if Hits("test.point.count") != 5 {
+		t.Fatalf("hits = %d", Hits("test.point.count"))
+	}
+	Reset()
+	p.Hit() // counting off again
+	if Hits("test.point.count") != 0 {
+		t.Fatalf("hits after reset = %d", Hits("test.point.count"))
+	}
+	found := false
+	for _, n := range Points() {
+		if n == "test.point.count" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered point missing from Points()")
+	}
+}
+
+func TestRunToCrashPropagatesForeignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign panic swallowed")
+		}
+	}()
+	RunToCrash(func() { panic("not a crash") })
+}
+
+func TestSinkFailWriteHealsAfterOne(t *testing.T) {
+	var inner bytes.Buffer
+	s := NewSink(&inner, FailWrite(2))
+	if _, err := s.Write([]byte("aa")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write([]byte("bb")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2 = %v, want injected failure", err)
+	}
+	if _, err := s.Write([]byte("cc")); err != nil {
+		t.Fatalf("write 3 after one-shot failure = %v, want healed", err)
+	}
+	if inner.String() != "aacc" {
+		t.Fatalf("device holds %q", inner.String())
+	}
+}
+
+func TestSinkTornWriteLeavesPartialPrefix(t *testing.T) {
+	var inner bytes.Buffer
+	s := NewSink(&inner, TornWrite(1, 3))
+	n, err := s.Write([]byte("abcdef"))
+	if err == nil || n != 3 {
+		t.Fatalf("torn write = (%d, %v)", n, err)
+	}
+	if inner.String() != "abc" {
+		t.Fatalf("device holds %q, want the torn prefix", inner.String())
+	}
+}
+
+func TestSinkShortWriteLies(t *testing.T) {
+	var inner bytes.Buffer
+	s := NewSink(&inner, ShortWrite(1, 2))
+	n, err := s.Write([]byte("abcdef"))
+	if err != nil || n != 2 {
+		t.Fatalf("short write = (%d, %v), want (2, nil)", n, err)
+	}
+}
+
+func TestSinkNoSpaceIsPersistent(t *testing.T) {
+	var inner bytes.Buffer
+	s := NewSink(&inner, NoSpace(2))
+	if _, err := s.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Write([]byte("y")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("post-ENOSPC write %d = %v", i, err)
+		}
+	}
+	if inner.String() != "x" {
+		t.Fatalf("device holds %q", inner.String())
+	}
+}
+
+func TestSinkSyncAndDropInjection(t *testing.T) {
+	var inner bytes.Buffer // no Sync, no DropPrefix
+	s := NewSink(&inner, FailSync(2), FailDrop(1))
+	if err := s.Sync(); err != nil {
+		t.Fatalf("sync over non-syncer inner = %v, want no-op success", err)
+	}
+	if err := s.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2 = %v", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("sync 3 healed = %v", err)
+	}
+	if err := s.DropPrefix(1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("drop 1 = %v", err)
+	}
+	// Healed drop now reports the inner sink's missing capability.
+	if err := s.DropPrefix(1); err == nil || errors.Is(err, ErrInjected) {
+		t.Fatalf("drop over plain buffer = %v, want capability error", err)
+	}
+}
+
+// TestSeededPlanIsReplayable pins the determinism contract: the same seed
+// builds the same plan, and the same plan produces byte-identical device
+// state — every torture failure replays from its logged seed.
+func TestSeededPlanIsReplayable(t *testing.T) {
+	build := func(seed int64) []Rule {
+		rng := rand.New(rand.NewSource(seed))
+		return []Rule{
+			TornWrite(1+rng.Intn(4), rng.Intn(8)),
+			FailSync(1 + rng.Intn(3)),
+			NoSpace(4 + rng.Intn(4)),
+		}
+	}
+	run := func(plan []Rule) string {
+		var inner bytes.Buffer
+		s := NewSink(&inner, plan...)
+		for i := 0; i < 8; i++ {
+			s.Write([]byte{byte('a' + i), byte('0' + i)}) //nolint:errcheck
+			s.Sync()                                      //nolint:errcheck
+		}
+		return inner.String()
+	}
+	a, b := run(build(42)), run(build(42))
+	if a != b {
+		t.Fatalf("same seed diverged: %q vs %q", a, b)
+	}
+}

@@ -1,0 +1,210 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ErrInjected is the base error returned by injected write/sync/drop
+// failures (wrapped with the operation and its index).
+var ErrInjected = errors.New("fault: injected I/O failure")
+
+// Op selects which sink operation a Rule targets.
+type Op uint8
+
+const (
+	OpWrite Op = iota + 1
+	OpSync
+	OpDrop
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpDrop:
+		return "drop-prefix"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Rule is one injected fault: on the Nth call of the targeted operation
+// (1-based, counted per operation kind), misbehave. Rules are plain data —
+// a plan built from a seeded *rand.Rand is fully replayable from the seed.
+type Rule struct {
+	Op  Op
+	Nth int
+	// TornBytes, for writes: forward this many leading bytes to the inner
+	// sink before failing — a torn write leaves a real partial prefix on the
+	// "device".
+	TornBytes int
+	// Short, for writes: return n < len(p) with a NIL error (a misbehaving
+	// io.Writer). TornBytes bytes are forwarded and reported.
+	Short bool
+	// Persistent repeats the failure on every later call of the same kind —
+	// the device never heals (ENOSPC-style). One-shot rules heal: the next
+	// call proceeds normally.
+	Persistent bool
+}
+
+// The fault shapes of the torture suite, as rule constructors.
+
+// FailWrite fails the nth write outright, then heals (error-once-then-heal).
+func FailWrite(nth int) Rule { return Rule{Op: OpWrite, Nth: nth} }
+
+// TornWrite forwards k bytes of the nth write to the inner sink and then
+// fails — the classic torn page.
+func TornWrite(nth, k int) Rule { return Rule{Op: OpWrite, Nth: nth, TornBytes: k} }
+
+// ShortWrite makes the nth write return k < len(p) with a nil error — the
+// misbehaving io.Writer the defensive short-write checks must catch.
+func ShortWrite(nth, k int) Rule { return Rule{Op: OpWrite, Nth: nth, TornBytes: k, Short: true} }
+
+// FailSync fails the nth Sync — the fsyncgate scenario: after it, the only
+// honest stance is to distrust everything not yet acknowledged.
+func FailSync(nth int) Rule { return Rule{Op: OpSync, Nth: nth} }
+
+// NoSpace fails every write from the nth on (ENOSPC-style persistent
+// failure).
+func NoSpace(nth int) Rule { return Rule{Op: OpWrite, Nth: nth, Persistent: true} }
+
+// FailDrop fails the nth DropPrefix call (a truncation that cannot delete
+// its segment).
+func FailDrop(nth int) Rule { return Rule{Op: OpDrop, Nth: nth} }
+
+// Syncer is the real-fsync capability (os.File has it; wal.FileSink
+// implements it; BufferSink does not need it).
+type Syncer interface{ Sync() error }
+
+// truncatable mirrors wal.TruncatableSink without importing it (fault sits
+// below wal in the dependency order).
+type truncatable interface {
+	DropPrefix(n int64) error
+}
+
+// Sink wraps an inner WAL/checkpoint sink with an injection plan. It
+// implements io.Writer, Sync() error, and DropPrefix(int64) error,
+// delegating to the inner sink's capabilities; Sync on a non-Syncer inner
+// sink is a successful no-op (so a Sink always presents the full interface
+// and fsync faults can be injected over in-memory sinks too).
+//
+// Counting is strictly deterministic: the kth write is the kth Write call,
+// regardless of outcome.
+type Sink struct {
+	mu     sync.Mutex
+	inner  io.Writer
+	rules  []Rule // guarded by mu; spent one-shot rules are removed
+	writes int    // guarded by mu; Write calls seen
+	syncs  int    // guarded by mu; Sync calls seen
+	drops  int    // guarded by mu; DropPrefix calls seen
+}
+
+// NewSink wraps inner with the given injection plan.
+func NewSink(inner io.Writer, plan ...Rule) *Sink {
+	return &Sink{inner: inner, rules: append([]Rule(nil), plan...)}
+}
+
+// match returns the first rule triggered by the nth call of op, removing it
+// from the plan unless persistent.
+//
+// locked: s.mu
+func (s *Sink) match(op Op, nth int) (Rule, bool) {
+	for i, r := range s.rules {
+		if r.Op != op {
+			continue
+		}
+		trig := r.Nth == nth || (r.Persistent && nth >= r.Nth)
+		if !trig {
+			continue
+		}
+		if !r.Persistent {
+			s.rules = append(s.rules[:i], s.rules[i+1:]...)
+		}
+		return r, true
+	}
+	return Rule{}, false
+}
+
+// Write forwards p to the inner sink unless a rule fires: a torn rule
+// forwards a prefix then errors, a short rule forwards a prefix and lies
+// (nil error), a plain rule errors without touching the device.
+func (s *Sink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	s.writes++
+	n := s.writes
+	r, hit := s.match(OpWrite, n)
+	s.mu.Unlock()
+	if !hit {
+		return s.inner.Write(p)
+	}
+	k := r.TornBytes
+	if k > len(p) {
+		k = len(p)
+	}
+	wrote := 0
+	if k > 0 {
+		var err error
+		wrote, err = s.inner.Write(p[:k])
+		if err != nil {
+			return wrote, err
+		}
+	}
+	if r.Short {
+		return wrote, nil // the misbehaving-writer lie
+	}
+	return wrote, fmt.Errorf("%w: write %d (%d of %d bytes reached the device)", ErrInjected, n, wrote, len(p))
+}
+
+// Sync delegates to the inner sink's Sync (no-op if it has none) unless a
+// sync rule fires.
+func (s *Sink) Sync() error {
+	s.mu.Lock()
+	s.syncs++
+	n := s.syncs
+	_, hit := s.match(OpSync, n)
+	s.mu.Unlock()
+	if hit {
+		return fmt.Errorf("%w: sync %d", ErrInjected, n)
+	}
+	if sy, ok := s.inner.(Syncer); ok {
+		return sy.Sync()
+	}
+	return nil
+}
+
+// DropPrefix delegates prefix truncation unless a drop rule fires. The
+// inner sink must be truncatable.
+func (s *Sink) DropPrefix(n int64) error {
+	s.mu.Lock()
+	s.drops++
+	c := s.drops
+	_, hit := s.match(OpDrop, c)
+	s.mu.Unlock()
+	if hit {
+		return fmt.Errorf("%w: drop-prefix %d", ErrInjected, c)
+	}
+	t, ok := s.inner.(truncatable)
+	if !ok {
+		return fmt.Errorf("fault: inner sink %T cannot drop a prefix", s.inner)
+	}
+	return t.DropPrefix(n)
+}
+
+// Writes returns the number of Write calls seen.
+func (s *Sink) Writes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writes
+}
+
+// Syncs returns the number of Sync calls seen.
+func (s *Sink) Syncs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncs
+}

@@ -87,7 +87,7 @@ func TestScanPathFixture(t *testing.T) {
 func TestLockGuardFixture(t *testing.T) { runFixture(t, LockGuardAnalyzer, "lockguard") }
 
 func TestNodeterminismFixture(t *testing.T) {
-	runFixture(t, NodeterminismAnalyzer, "nodet/internal/core")
+	runFixture(t, NodeterminismAnalyzer, "nodet/internal/core", "nodet/internal/fault")
 }
 
 // TestRepoIsClean pins the acceptance criterion that the suite exits clean on

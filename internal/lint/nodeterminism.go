@@ -7,17 +7,19 @@ import (
 	"strings"
 )
 
-// NodeterminismAnalyzer keeps internal/core and internal/wal replayable: the
-// engine's recovery story is "re-run the log and land in the same state", and
-// the planned scenario harness replays whole workloads. Both break the moment
-// core logic consults the wall clock, a shared random source, or Go's
-// randomized map iteration order for anything that reaches a result. Test
-// files are exempt (they are not part of the replayed engine).
+// NodeterminismAnalyzer keeps internal/core, internal/wal, and
+// internal/fault replayable: the engine's recovery story is "re-run the log
+// and land in the same state", and the crash-torture harness replays whole
+// workloads against seeded fault plans. Both break the moment core logic
+// consults the wall clock, a shared random source, or Go's randomized map
+// iteration order for anything that reaches a result — and a fault plan that
+// isn't a pure function of its seed cannot reproduce the failure it found.
+// Test files are exempt (they are not part of the replayed engine).
 var NodeterminismAnalyzer = &Analyzer{
 	Name: "nodeterminism",
 	Doc: "forbids time.Now/Since/Until, the global math/rand source, and " +
 		"map-order iteration with order-dependent sinks (append, Write*, " +
-		"channel send) inside internal/core and internal/wal",
+		"channel send) inside internal/core, internal/wal, and internal/fault",
 	Run: runNodeterminism,
 }
 
@@ -37,7 +39,8 @@ var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 
 func runNodeterminism(pass *Pass) error {
 	if !PathHasSuffixSeg(pass.Pkg.ImportPath, "/internal/core") &&
-		!PathHasSuffixSeg(pass.Pkg.ImportPath, "/internal/wal") {
+		!PathHasSuffixSeg(pass.Pkg.ImportPath, "/internal/wal") &&
+		!PathHasSuffixSeg(pass.Pkg.ImportPath, "/internal/fault") {
 		return nil
 	}
 	for _, file := range pass.Pkg.Files {

@@ -1,0 +1,52 @@
+// Package fault mirrors internal/fault's path for the nodeterminism
+// fixture: an injection plan must be a pure function of its seed, so clock
+// reads, the global rand source, and map-order-dependent plan assembly are
+// flagged here exactly as in core and wal; seeded sources and sorted
+// registry walks stay clean.
+package fault
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// --- flagged patterns ---------------------------------------------------
+
+type rule struct {
+	op  int
+	nth int
+}
+
+func jitteredPlan() []rule {
+	n := int(time.Now().UnixNano() % 5) // want "time.Now"
+	return make([]rule, n)
+}
+
+func randomPlan() []rule {
+	return []rule{{op: 0, nth: rand.Intn(8)}} // want "global math/rand source"
+}
+
+func planFromRegistry(points map[string]int) []rule {
+	var plan []rule
+	for _, nth := range points { // want "map iteration order"
+		plan = append(plan, rule{nth: nth})
+	}
+	return plan
+}
+
+// --- clean patterns -----------------------------------------------------
+
+func seededPlan(seed int64) []rule {
+	r := rand.New(rand.NewSource(seed)) // seeded constructor: replayable
+	return []rule{{op: r.Intn(3), nth: 1 + r.Intn(8)}}
+}
+
+func sortedRegistry(points map[string]int) []string {
+	var names []string
+	for name := range points {
+		names = append(names, name)
+	}
+	sort.Strings(names) // collect-then-sort keeps the sweep order stable
+	return names
+}

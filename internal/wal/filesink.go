@@ -1,0 +1,197 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FileSink is the os.File-backed log sink: real writes, a real fsync, and
+// prefix truncation on disk. It implements TruncatableSink and Syncer, so a
+// Logger over a FileSink gets durable group commit (every Flush fsyncs) and
+// TruncateWAL works against the actual file.
+//
+// Durability semantics, precisely:
+//
+//   - Sync is os.File.Sync. A FAILED sync poisons the sink permanently
+//     (sticky error on every later Write/Sync/DropPrefix): after fsync
+//     reports an error the kernel may already have dropped the dirty pages,
+//     so a retried sync that "succeeds" proves nothing — the fsyncgate
+//     rule. The Logger above applies the same rule to itself.
+//
+//   - DropPrefix truncates by rewrite-and-rename: the retained suffix is
+//     written to a temp file in the same directory, fsynced, renamed over
+//     the log, and the directory fsynced. A crash at any point leaves
+//     either the old file (prefix not yet dropped — harmless, replay is
+//     idempotent above the checkpoint watermark) or the new one; the
+//     half-written temp file is ignored and removed by OpenFileSink.
+//
+//   - The file's content is exactly the retained log bytes: reopening after
+//     a crash needs no sidecar state, Recover just reads the file.
+type FileSink struct {
+	mu   sync.Mutex
+	f    *os.File // guarded by mu; swapped by DropPrefix
+	path string   // immutable after OpenFileSink
+	size int64    // guarded by mu; bytes retained in the file
+	err  error    // guarded by mu; sticky after a failed sync (fsyncgate)
+}
+
+// tmpSuffix names the rewrite-and-rename scratch file; OpenFileSink removes
+// a stale one left by a crash mid-truncation.
+const tmpSuffix = ".truncating"
+
+// OpenFileSink opens (creating if needed) the log file at path for
+// appending. An existing file is appended to — its content is the retained
+// log from the previous run; read it with Bytes or an os.Open before
+// handing the tail to recovery.
+func OpenFileSink(path string) (*FileSink, error) {
+	// A crash between writing and renaming the truncation temp file leaves
+	// it behind; it is scratch, never authoritative.
+	_ = os.Remove(path + tmpSuffix)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open file sink: %w", err)
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: open file sink: %w", err)
+	}
+	return &FileSink{f: f, path: path, size: size}, nil
+}
+
+// Path returns the log file's path.
+func (s *FileSink) Path() string { return s.path }
+
+// Write appends p to the file. Short writes surface as io.ErrShortWrite; a
+// poisoned sink (failed sync) rejects every write.
+func (s *FileSink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return 0, s.err
+	}
+	n, err := s.f.Write(p)
+	s.size += int64(n)
+	if err == nil && n < len(p) {
+		err = io.ErrShortWrite
+	}
+	return n, err
+}
+
+// Sync makes every written byte durable (os.File.Sync). A failure poisons
+// the sink permanently: never retry-and-trust a failed fsync.
+func (s *FileSink) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.f.Sync(); err != nil {
+		s.err = fmt.Errorf("wal: file sink poisoned by failed fsync (%v); durability of prior writes is unknown", err)
+		return s.err
+	}
+	return nil
+}
+
+// DropPrefix discards the first n retained bytes by rewrite-and-rename.
+// The remaining bytes stay byte-exact.
+func (s *FileSink) DropPrefix(n int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if n < 0 || n > s.size {
+		return fmt.Errorf("wal: DropPrefix(%d) with %d bytes retained", n, s.size)
+	}
+	if n == 0 {
+		return nil
+	}
+	rest := make([]byte, s.size-n)
+	if _, err := s.f.ReadAt(rest, n); err != nil {
+		return fmt.Errorf("wal: truncate read: %w", err)
+	}
+	tmpPath := s.path + tmpSuffix
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if _, err := tmp.Write(rest); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: truncate write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: truncate sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: truncate close: %w", err)
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: truncate rename: %w", err)
+	}
+	syncDir(filepath.Dir(s.path))
+	nf, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reopen after truncate: %w", err)
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		nf.Close()
+		return fmt.Errorf("wal: reopen after truncate: %w", err)
+	}
+	s.f.Close()
+	s.f = nf
+	s.size -= n
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable. Best-effort:
+// some filesystems reject directory fsync; the rename itself is atomic
+// either way.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync() //nolint:errcheck // best-effort; see above
+	d.Close()
+}
+
+// Len returns the number of retained bytes.
+func (s *FileSink) Len() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Err returns the sticky poisoning error, nil while the sink is healthy.
+func (s *FileSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Bytes reads back the retained bytes — the durable log — from the file.
+func (s *FileSink) Bytes() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf := make([]byte, s.size)
+	if _, err := s.f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("wal: read file sink: %w", err)
+	}
+	return buf, nil
+}
+
+// Close closes the underlying file.
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

@@ -19,16 +19,25 @@ const frameHdrSize = 8
 // ErrTornFrame reports a truncated or corrupt frame.
 var ErrTornFrame = fmt.Errorf("wal: torn or corrupt frame")
 
-// WriteFrame writes one CRC-protected frame.
+// WriteFrame writes one CRC-protected frame. Short writes with a nil error
+// (a misbehaving io.Writer) are reported as io.ErrShortWrite instead of
+// being silently absorbed: a frame the writer only half-took would read
+// back as a torn tail and end replay early with no error ever surfaced.
 func WriteFrame(w io.Writer, payload []byte) error {
 	var hdr [frameHdrSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
-	if _, err := w.Write(hdr[:]); err != nil {
+	if n, err := w.Write(hdr[:]); err != nil {
 		return err
+	} else if n < len(hdr) {
+		return io.ErrShortWrite
 	}
-	_, err := w.Write(payload)
-	return err
+	if n, err := w.Write(payload); err != nil {
+		return err
+	} else if n < len(payload) {
+		return io.ErrShortWrite
+	}
+	return nil
 }
 
 // ReadFrame reads one frame. It returns io.EOF at a clean end of stream,

@@ -1,0 +1,129 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+
+	"lstore/internal/fault"
+)
+
+// Satellite coverage: BufferSink.DropPrefix / Logger.TruncateTo edge cases.
+
+func TestDropPrefixBounds(t *testing.T) {
+	b := &BufferSink{}
+	if _, err := b.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DropPrefix(-1); err == nil {
+		t.Fatal("negative drop succeeded")
+	}
+	if err := b.DropPrefix(11); err == nil {
+		t.Fatal("drop beyond retained bytes succeeded")
+	}
+	if err := b.DropPrefix(10); err != nil { // drop everything: exact boundary
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("len after full drop = %d", b.Len())
+	}
+	if err := b.DropPrefix(0); err != nil { // zero drop on empty sink
+		t.Fatal(err)
+	}
+}
+
+func TestTruncateToExactBoundaryAndBeyond(t *testing.T) {
+	sink := &BufferSink{}
+	l := NewLogger(sink, nil)
+	for i := uint64(1); i <= 5; i++ {
+		if _, err := l.Append(Record{Kind: KindInsert, TxnID: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Truncate at the exact last-appended LSN: drops everything.
+	if err := l.TruncateTo(5); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 0 {
+		t.Fatalf("retained %d bytes after truncating at the flushed boundary", sink.Len())
+	}
+	if l.TruncatedLSN() != 5 {
+		t.Fatalf("TruncatedLSN = %d", l.TruncatedLSN())
+	}
+	// Truncate BEYOND the flushed LSN: nothing is retained at or below 99,
+	// so it is a no-op — it must not invent offsets or fail.
+	if err := l.TruncateTo(99); err != nil {
+		t.Fatal(err)
+	}
+	if l.TruncatedLSN() != 5 {
+		t.Fatalf("truncation beyond flushed LSN moved the mark to %d", l.TruncatedLSN())
+	}
+	// New appends after a full truncation keep working and truncate again.
+	if _, err := l.Append(Record{Kind: KindCommit, TxnID: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TruncateTo(6); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 0 || l.TruncatedLSN() != 6 {
+		t.Fatalf("second full truncation: %d bytes, mark %d", sink.Len(), l.TruncatedLSN())
+	}
+}
+
+func TestDoubleTruncationIsIdempotent(t *testing.T) {
+	sink := &BufferSink{}
+	l := NewLogger(sink, nil)
+	for i := uint64(1); i <= 8; i++ {
+		if _, err := l.Append(Record{Kind: KindInsert, TxnID: i, Key: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.TruncateTo(4); err != nil {
+		t.Fatal(err)
+	}
+	want := sink.Bytes()
+	// The same truncation again must not move a single byte.
+	if err := l.TruncateTo(4); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sink.Bytes(), want) {
+		t.Fatal("repeated truncation changed the retained bytes")
+	}
+	recs, err := ReadAll(sink.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || recs[0].LSN != 5 {
+		t.Fatalf("retained %d records from LSN %d", len(recs), recs[0].LSN)
+	}
+}
+
+// TestTruncateOnPoisonedLogger pins the interleaving: once the logger is
+// poisoned, TruncateTo must refuse (its internal flush fails) and must not
+// touch the sink — truncating around a torn prefix could discard the very
+// bytes that still replay cleanly.
+func TestTruncateOnPoisonedLogger(t *testing.T) {
+	inner := &BufferSink{}
+	s := fault.NewSink(inner, fault.FailWrite(2))
+	l := NewLogger(s, nil)
+	for i := uint64(1); i <= 3; i++ {
+		if _, err := l.Append(Record{Kind: KindInsert, TxnID: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Flush(); err != nil { // write 1: durable prefix
+		t.Fatal(err)
+	}
+	durable := inner.Bytes()
+	if _, err := l.Append(Record{Kind: KindInsert, TxnID: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err == nil { // write 2 fails: poisoned
+		t.Fatal("flush on failing sink succeeded")
+	}
+	if err := l.TruncateTo(2); err == nil {
+		t.Fatal("truncation on poisoned logger succeeded")
+	}
+	if !bytes.Equal(inner.Bytes(), durable) {
+		t.Fatal("poisoned truncation modified the durable bytes")
+	}
+}

@@ -43,6 +43,21 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"lstore/internal/fault"
+)
+
+// Crash points on the append/flush/truncate paths: no-ops in production,
+// tripped by the crash-torture tests to simulate a process kill at exactly
+// these boundaries (see internal/fault).
+var (
+	cpAppendPreWrite   = fault.Register("wal.append.pre-write")
+	cpAppendPostWrite  = fault.Register("wal.append.post-write")
+	cpAppendPreFlush   = fault.Register("wal.append.pre-flush")
+	cpFlushPreSync     = fault.Register("wal.flush.pre-sync")
+	cpFlushPostSync    = fault.Register("wal.flush.post-sync")
+	cpTruncatePreDrop  = fault.Register("wal.truncate.pre-drop")
+	cpTruncatePostDrop = fault.Register("wal.truncate.post-drop")
 )
 
 // Kind tags a log record.
@@ -107,11 +122,18 @@ type lsnOffset struct {
 	end int64
 }
 
+// Syncer is a sink with a real fsync: Sync must not return until every
+// previously written byte is durable on the device. FileSink implements it
+// with os.File.Sync; an in-memory BufferSink needs none (its writes are
+// "durable" the moment they land).
+type Syncer interface{ Sync() error }
+
 // Logger is the append-only redo log with group commit.
 type Logger struct {
 	mu       sync.Mutex
 	w        *bufio.Writer // guarded by mu
 	sink     io.Writer     // immutable after NewLogger
+	syncer   Syncer        // immutable after NewLogger; sink's fsync, if any
 	nextLSN  uint64        // guarded by mu
 	flushed  uint64        // guarded by mu; highest LSN guaranteed durable
 	synced   func()        // immutable after NewLogger; optional fsync hook
@@ -133,17 +155,38 @@ type Logger struct {
 	truncated    uint64      // guarded by mu; highest LSN discarded by TruncateTo
 }
 
-// NewLogger wraps sink (a file or buffer). syncFn, if non-nil, is invoked on
-// every flush (an fsync stand-in that tests count).
+// NewLogger wraps sink (a file or buffer). syncFn, if non-nil, is invoked
+// after every successful flush+sync (an fsync observer that tests count).
+// A sink implementing Syncer gets a real fsync on every flush, with the
+// fsyncgate rule: a failed Sync poisons the logger permanently (see
+// flushLocked). The sink is additionally guarded against short writes — an
+// io.Writer returning n < len(p) with a nil error would silently corrupt
+// the LSN/offset bookkeeping, so the guard converts the lie into
+// io.ErrShortWrite and the logger poisons itself like any torn write.
 func NewLogger(sink io.Writer, syncFn func()) *Logger {
 	_, truncatable := sink.(TruncatableSink)
+	syncer, _ := sink.(Syncer)
 	return &Logger{
-		w:            bufio.NewWriterSize(sink, 1<<16),
+		w:            bufio.NewWriterSize(shortWriteGuard{sink}, 1<<16),
 		sink:         sink,
+		syncer:       syncer,
 		nextLSN:      1,
 		synced:       syncFn,
 		trackOffsets: truncatable,
 	}
+}
+
+// shortWriteGuard enforces the io.Writer contract on the sink: n < len(p)
+// with a nil error is treated as a torn write (io.ErrShortWrite), never
+// silently retried or absorbed into the buffered writer's accounting.
+type shortWriteGuard struct{ w io.Writer }
+
+func (g shortWriteGuard) Write(p []byte) (int, error) {
+	n, err := g.w.Write(p)
+	if err == nil && n < len(p) {
+		return n, io.ErrShortWrite
+	}
+	return n, err
 }
 
 // Append buffers rec and returns its LSN. It never blocks on I/O beyond the
@@ -158,6 +201,7 @@ func (l *Logger) Append(rec Record) (uint64, error) {
 	}
 	rec.LSN = l.nextLSN
 	l.nextLSN++
+	cpAppendPreWrite.Hit()
 	n, err := writeRecord(l.w, &rec)
 	if err != nil {
 		l.poison(fmt.Errorf("append of LSN %d failed mid-record: %w", rec.LSN, err))
@@ -168,6 +212,7 @@ func (l *Logger) Append(rec Record) (uint64, error) {
 		l.offsets = append(l.offsets, lsnOffset{lsn: rec.LSN, end: l.written})
 	}
 	l.appended++
+	cpAppendPostWrite.Hit()
 	return rec.LSN, nil
 }
 
@@ -179,6 +224,7 @@ func (l *Logger) AppendCommit(txnID uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	cpAppendPreFlush.Hit() // the commit record is buffered but not yet durable
 	return lsn, l.Flush()
 }
 
@@ -189,6 +235,13 @@ func (l *Logger) Flush() error {
 	return l.flushLocked()
 }
 
+// flushLocked pushes the buffer to the sink and, when the sink has a real
+// fsync, syncs it. A failed sync poisons the logger PERMANENTLY — the
+// fsyncgate rule: after fsync reports an error, the kernel may have
+// discarded the dirty pages while a retry would succeed trivially and
+// "vouch" for bytes that never reached the device. Never retry-and-trust;
+// the only honest continuation is a new log.
+//
 // locked: l.mu
 func (l *Logger) flushLocked() error {
 	if l.err != nil {
@@ -197,6 +250,14 @@ func (l *Logger) flushLocked() error {
 	if err := l.w.Flush(); err != nil {
 		l.poison(fmt.Errorf("flush failed: %w", err))
 		return err
+	}
+	if l.syncer != nil {
+		cpFlushPreSync.Hit() // bytes at the device, not yet synced
+		if err := l.syncer.Sync(); err != nil {
+			l.poison(fmt.Errorf("fsync failed (never retry-and-trust a failed sync): %w", err))
+			return err
+		}
+		cpFlushPostSync.Hit()
 	}
 	if l.synced != nil {
 		l.synced()
@@ -249,9 +310,11 @@ func (l *Logger) TruncateTo(lsn uint64) error {
 		return nil // nothing at or below lsn retained (already truncated)
 	}
 	cut := l.offsets[idx]
+	cpTruncatePreDrop.Hit()
 	if err := ts.DropPrefix(cut.end - l.dropped); err != nil {
 		return err
 	}
+	cpTruncatePostDrop.Hit()
 	l.dropped = cut.end
 	l.truncated = cut.lsn
 	l.offsets = append(l.offsets[:0], l.offsets[idx+1:]...)

@@ -3,10 +3,49 @@ package lstore
 import (
 	"bytes"
 	"errors"
+	"io"
 	"math/rand"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// propertyLog abstracts the WAL device under the recovery property test so
+// the file-backed sink is held to exactly the same properties as the
+// in-memory reference.
+type propertyLog struct {
+	sink io.Writer
+	size func() int    // durable bytes so far
+	dump func() []byte // durable bytes, read back
+}
+
+func memPropertyLog(t *testing.T) propertyLog {
+	var b bytes.Buffer
+	return propertyLog{
+		sink: &b,
+		size: b.Len,
+		dump: func() []byte { return append([]byte(nil), b.Bytes()...) },
+	}
+}
+
+func filePropertyLog(t *testing.T) propertyLog {
+	s, err := OpenWALFile(filepath.Join(t.TempDir(), "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return propertyLog{
+		sink: s,
+		size: func() int { return int(s.Len()) },
+		dump: func() []byte {
+			data, err := s.Bytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return data
+		},
+	}
+}
 
 // TestCrashRecoveryCommitPrefixProperty is the crash-recovery property
 // test: a random workload of logically concurrent transactions (several
@@ -16,13 +55,19 @@ import (
 // prefix that ends at a commit boundary, recovery of that prefix must yield
 // exactly the shadow state at that commit — committed transactions are
 // atomic and durable, everything else vanishes. A torn cut inside a commit
-// record must yield the state of the previous boundary.
+// record must yield the state of the previous boundary. The property runs
+// over both the in-memory and the file-backed sink.
 func TestCrashRecoveryCommitPrefixProperty(t *testing.T) {
+	t.Run("mem", func(t *testing.T) { crashRecoveryCommitPrefixProperty(t, memPropertyLog) })
+	t.Run("file", func(t *testing.T) { crashRecoveryCommitPrefixProperty(t, filePropertyLog) })
+}
+
+func crashRecoveryCommitPrefixProperty(t *testing.T, newLog func(*testing.T) propertyLog) {
 	names := []string{"ada", "bob", "cleo", "dan"}
 	for _, seed := range []int64{3, 11, 2026} {
 		rng := rand.New(rand.NewSource(seed))
-		var log bytes.Buffer
-		db := Open(WithWAL(&log, nil))
+		log := newLog(t)
+		db := Open(WithWAL(log.sink, nil))
 		tbl, err := db.CreateTable("t", ckptSchema())
 		if err != nil {
 			t.Fatal(err)
@@ -70,7 +115,7 @@ func TestCrashRecoveryCommitPrefixProperty(t *testing.T) {
 					apply(shadow)
 				}
 				snapshots = append(snapshots, deepCopy(shadow))
-				prefixes = append(prefixes, log.Len())
+				prefixes = append(prefixes, log.size())
 			default: // one operation on a random open transaction
 				i := rng.Intn(len(open))
 				ot := open[i]
@@ -115,7 +160,7 @@ func TestCrashRecoveryCommitPrefixProperty(t *testing.T) {
 			}
 		}
 		// Crash: open transactions simply stop (no abort records needed).
-		data := log.Bytes()
+		data := log.dump()
 		if len(snapshots) < 20 {
 			t.Fatalf("seed %d: only %d commits; workload too timid", seed, len(snapshots))
 		}
