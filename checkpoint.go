@@ -511,23 +511,36 @@ func WithCheckpointEvery(every time.Duration, sink CheckpointSink) Option {
 	}
 }
 
-// checkpointRound is one complete checkpoint+truncate cycle, serialized
-// against Recover through ckptRoundMu.
-func (db *DB) checkpointRound() {
+// CheckpointTo runs one complete checkpoint round against sink — write a
+// full image, hand it to the sink, truncate the covered WAL prefix — and
+// returns the image's description. A sink error keeps the previous
+// checkpoint authoritative (and skips truncation). Rounds are serialized
+// against Recover through ckptRoundMu; the background checkpointer runs
+// exactly this, and a serving layer calls it for its final drain
+// checkpoint and after DDL (table creation is not WAL-logged, so the
+// checkpoint image is what makes it durable).
+func (db *DB) CheckpointTo(sink CheckpointSink) (CheckpointInfo, error) {
 	db.ckptRoundMu.Lock()
 	defer db.ckptRoundMu.Unlock()
 	var buf bytes.Buffer
 	info, err := db.Checkpoint(&buf)
 	if err != nil {
-		return // a poisoned WAL or sink error; retry next round
+		return info, err // a poisoned WAL or scan error; nothing reached the sink
 	}
-	if err := db.ckptSink.Checkpoint(buf.Bytes(), info); err != nil {
-		return // previous checkpoint stays authoritative
+	if err := sink.Checkpoint(buf.Bytes(), info); err != nil {
+		return info, err // previous checkpoint stays authoritative
 	}
 	cpCkptPreTruncate.Hit() // crash here: new image durable, old log not yet truncated
 	if db.logger != nil {
 		db.TruncateWAL(info.LSN) //nolint:errcheck // non-truncatable sinks keep their log
 	}
+	return info, nil
+}
+
+// checkpointRound is one background-checkpointer cycle; errors are dropped
+// (the next tick retries, the previous image stays authoritative).
+func (db *DB) checkpointRound() {
+	db.CheckpointTo(db.ckptSink) //nolint:errcheck // see doc comment
 }
 
 func (db *DB) checkpointLoop() {

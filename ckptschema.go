@@ -1,0 +1,114 @@
+package lstore
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"lstore/internal/wal"
+)
+
+// CheckpointTableDecl is one table's declaration as recorded in a
+// checkpoint image: everything CreateTable needs to re-create it before
+// Recover. Declarations come back in table-id order — the creation order
+// Recover requires.
+type CheckpointTableDecl struct {
+	Name             string
+	Key              string   // primary-key column name
+	Columns          []Column // schema order
+	SecondaryIndexes []string // column names with declared secondary indexes
+}
+
+// Schema builds the CreateTable schema for the declaration.
+func (d CheckpointTableDecl) Schema() Schema { return NewSchema(d.Key, d.Columns...) }
+
+// CheckpointSchema reads the table declarations out of a checkpoint image
+// without restoring any rows — the bootstrap step of a process restart:
+// tables must exist (same names, same order, same schemas) before Recover
+// replays the image, and table creation is not WAL-logged, so the image is
+// the only durable record of the schema. Row batches are skipped
+// structurally (frames are CRC-verified but rows are not parsed); a torn or
+// corrupt image fails loudly, exactly like restore.
+func CheckpointSchema(r io.Reader) ([]CheckpointTableDecl, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	hdr, err := wal.ReadFrame(br)
+	if err != nil {
+		return nil, fmt.Errorf("lstore: checkpoint header: %w", err)
+	}
+	hp := &ckptParser{p: hdr}
+	if hp.byte() != frameHeader || string(hp.bytes(len(ckptMagic))) != ckptMagic {
+		return nil, fmt.Errorf("lstore: not a checkpoint image")
+	}
+	if v := hp.uvarint(); v != ckptVersion {
+		return nil, fmt.Errorf("lstore: checkpoint version %d unsupported", v)
+	}
+	hp.uvarint() // timestamp
+	hp.uvarint() // watermark
+	nTables := hp.uvarint()
+	if hp.err != nil {
+		return nil, fmt.Errorf("lstore: checkpoint header: %w", hp.err)
+	}
+
+	var decls []CheckpointTableDecl
+	for {
+		p, err := wal.ReadFrame(br)
+		if err == io.EOF {
+			return nil, fmt.Errorf("lstore: checkpoint truncated before end frame: %w", wal.ErrTornFrame)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("lstore: checkpoint: %w", err)
+		}
+		fp := &ckptParser{p: p}
+		switch fp.byte() {
+		case frameTable:
+			d, err := parseCkptTableDecl(fp)
+			if err != nil {
+				return nil, err
+			}
+			if uint64(len(decls)) >= nTables {
+				return nil, fmt.Errorf("lstore: checkpoint holds more tables than its header declares")
+			}
+			decls = append(decls, d)
+		case frameRowBatch, frameTableEnd:
+			// Schema-only walk: row payloads are covered by the frame CRC,
+			// which ReadFrame already verified.
+		case frameEnd:
+			if uint64(len(decls)) != nTables {
+				return nil, fmt.Errorf("lstore: checkpoint holds %d tables, header declares %d", len(decls), nTables)
+			}
+			return decls, nil
+		default:
+			return nil, fmt.Errorf("lstore: checkpoint frame tag %d unknown", p[0])
+		}
+	}
+}
+
+// parseCkptTableDecl decodes one frameTable payload into a declaration
+// (the same wire layout verifyCkptTable checks against live tables).
+func parseCkptTableDecl(fp *ckptParser) (CheckpointTableDecl, error) {
+	var d CheckpointTableDecl
+	id := fp.uvarint()
+	d.Name = fp.str()
+	key := fp.uvarint()
+	nCols := fp.uvarint()
+	for i := uint64(0); i < nCols; i++ {
+		cn := fp.str()
+		ct := fp.byte()
+		d.Columns = append(d.Columns, Column{Name: cn, Type: ColType(ct)})
+	}
+	nSec := fp.uvarint()
+	for i := uint64(0); i < nSec; i++ {
+		ci := fp.uvarint()
+		if ci < uint64(len(d.Columns)) {
+			d.SecondaryIndexes = append(d.SecondaryIndexes, d.Columns[ci].Name)
+		}
+	}
+	if fp.err != nil {
+		return d, fmt.Errorf("lstore: checkpoint table frame %d: %w", id, fp.err)
+	}
+	if key >= uint64(len(d.Columns)) {
+		return d, fmt.Errorf("lstore: checkpoint table %q declares key column %d of %d", d.Name, key, len(d.Columns))
+	}
+	d.Key = d.Columns[key].Name
+	return d, nil
+}

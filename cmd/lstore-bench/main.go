@@ -11,9 +11,11 @@
 // fig9a fig9b (read/write-ratio sweeps), fig10a fig10c (mixed OLTP+OLAP),
 // table8 (row vs column scans), table9 (row vs column point reads),
 // query (the unified Query API: predicate pushdown and filtered aggregates
-// vs callback filtering, swept over selectivity), and recover (restart
-// time after a simulated crash: full-log replay vs checkpoint + log tail,
-// swept over tail length).
+// vs callback filtering, swept over selectivity), recover (restart time
+// after a simulated crash: full-log replay vs checkpoint + log tail, swept
+// over tail length), and serve (the HTTP service layer end to end: txn
+// throughput and latency with group commit on/off, plus admission-control
+// shedding under overload).
 package main
 
 import (

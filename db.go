@@ -65,6 +65,10 @@ type DB struct {
 	ckptStop  chan struct{}
 	ckptDone  chan struct{}
 	ckptOnce  sync.Once
+
+	// noGroupCommit (WithoutGroupCommit) is applied to the logger once in
+	// Open, after every option has run; immutable afterwards.
+	noGroupCommit bool
 }
 
 // txnLSNs is one logged transaction's begin/commit record LSNs.
@@ -82,6 +86,17 @@ type Option func(*DB)
 // checkpointer) so the log stops growing without bound.
 func WithWAL(sink io.Writer, syncFn func()) Option {
 	return func(db *DB) { db.logger = wal.NewLogger(sink, syncFn) }
+}
+
+// WithoutGroupCommit makes every commit run its own WAL flush (and fsync)
+// instead of batching concurrent committers onto one leader's flush. Group
+// commit is on by default — one flush vouches for every commit record it
+// covers, which is what makes an fsync-backed WALFile affordable under
+// concurrent writers. This option exists for benchmarks measuring the
+// batching against the flush-per-commit baseline, and for deployments that
+// want strict one-commit-one-fsync behavior regardless of load.
+func WithoutGroupCommit() Option {
+	return func(db *DB) { db.noGroupCommit = true }
 }
 
 // TruncatableSink is a WAL sink that can discard a durable prefix — the
@@ -120,9 +135,12 @@ func (db *DB) TruncateWAL(lsn uint64) (uint64, error) {
 type WALInfo struct {
 	Attached     bool
 	Appended     int    // records appended so far
-	FlushedLSN   uint64 // highest durable LSN
+	LastLSN      uint64 // highest LSN handed out by Append
+	FlushedLSN   uint64 // highest durable LSN (LastLSN-FlushedLSN = flush lag)
 	TruncatedLSN uint64 // highest LSN discarded by truncation (0 = none)
 	Syncs        int    // flush count (group-commit effectiveness)
+	GroupCommit  bool   // commits batch onto one leader's flush
+	GroupBatches int    // commit batches flushed by a leader
 	Err          error  // sticky poisoning error, nil while healthy
 }
 
@@ -134,11 +152,23 @@ func (db *DB) WALInfo() WALInfo {
 	return WALInfo{
 		Attached:     true,
 		Appended:     db.logger.Appended(),
+		LastLSN:      db.logger.LastLSN(),
 		FlushedLSN:   db.logger.FlushedLSN(),
 		TruncatedLSN: db.logger.TruncatedLSN(),
 		Syncs:        db.logger.Syncs(),
+		GroupCommit:  db.logger.GroupCommit(),
+		GroupBatches: db.logger.GroupBatches(),
 		Err:          db.logger.Err(),
 	}
+}
+
+// FlushWAL forces every appended record durable (a drain step for servers
+// shutting down; commits already flush themselves). No-op without a WAL.
+func (db *DB) FlushWAL() error {
+	if db.logger == nil {
+		return nil
+	}
+	return db.logger.Flush()
 }
 
 // Open creates an empty in-memory database.
@@ -151,6 +181,9 @@ func Open(opts ...Option) *DB {
 	}
 	for _, o := range opts {
 		o(db)
+	}
+	if db.logger != nil && db.noGroupCommit {
+		db.logger.SetGroupCommit(false)
 	}
 	if db.ckptEvery > 0 && db.ckptSink != nil {
 		db.ckptStop = make(chan struct{})

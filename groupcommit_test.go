@@ -1,0 +1,125 @@
+package lstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"lstore/internal/fault"
+)
+
+// TestCrashTortureConcurrentGroupCommit crashes a batch leader (the
+// wal.groupcommit.batch-flush point: batch sealed, nothing flushed) while
+// many workers commit through the full DB API over a file-backed WAL, then
+// recovers from the durable bytes alone. The group-commit contract under
+// crash: every transaction ACKNOWLEDGED before the kill must be in the
+// recovered state. Workers mid-commit when the leader dies are abandoned,
+// like the threads of a SIGKILLed process — their transactions may or may
+// not have reached the log, and either outcome is fine because they were
+// never acknowledged.
+func TestCrashTortureConcurrentGroupCommit(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	path := filepath.Join(t.TempDir(), "wal")
+	sink, err := OpenWALFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The synced hook models device latency so commits actually pile into
+	// shared batches instead of each finding the logger idle.
+	db := Open(WithWAL(sink, func() { time.Sleep(100 * time.Microsecond) }))
+	tbl, err := db.CreateTable("t", NewSchema("id",
+		Column{Name: "id", Type: Int64},
+		Column{Name: "v", Type: Int64},
+	), TableOptions{DisableAutoMerge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ackedMu sync.Mutex
+	acked := map[int64]int64{} // key -> value, guarded by ackedMu
+
+	fault.Trip("wal.groupcommit.batch-flush", 10)
+	const workers = 8
+	crashCh := make(chan *fault.Crash, workers)
+	crash := fault.RunToCrash(func() {
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				// The crash point panics in whichever worker leads the doomed
+				// batch; forward it so RunToCrash (watching this function's
+				// goroutine) observes the process death.
+				defer func() {
+					if r := recover(); r != nil {
+						if c, ok := r.(*fault.Crash); ok {
+							crashCh <- c
+							return
+						}
+						panic(r)
+					}
+				}()
+				for i := 0; ; i++ {
+					key := int64(w*1_000_000 + i + 1)
+					tx := db.Begin(ReadCommitted)
+					if err := tbl.Insert(tx, Row{"id": Int(key), "v": Int(key * 3)}); err != nil {
+						tx.Abort()
+						return
+					}
+					if err := tx.Commit(); err != nil {
+						return
+					}
+					ackedMu.Lock()
+					acked[key] = key * 3
+					ackedMu.Unlock()
+				}
+			}(w)
+		}
+		panic(<-crashCh)
+	})
+	if crash == nil || crash.Point != "wal.groupcommit.batch-flush" {
+		t.Fatalf("expected a crash at the batch-flush point, got %+v", crash)
+	}
+
+	// The durable bytes are frozen: the doomed batch's leader died with the
+	// flush never started, and every later committer waits forever on it.
+	durable, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := Open()
+	tbl2, err := db2.CreateTable("t", NewSchema("id",
+		Column{Name: "id", Type: Int64},
+		Column{Name: "v", Type: Int64},
+	), TableOptions{DisableAutoMerge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Recover(db2, nil, bytes.NewReader(durable))
+	if err != nil {
+		t.Fatalf("recovery from post-crash log failed: %v", err)
+	}
+
+	ackedMu.Lock()
+	defer ackedMu.Unlock()
+	if len(acked) == 0 {
+		t.Fatal("calibration failure: no commit was acknowledged before the crash")
+	}
+	if stats.RedoneTxns < len(acked) {
+		t.Fatalf("recovery replayed %d txns but %d were acknowledged", stats.RedoneTxns, len(acked))
+	}
+	rtx := db2.Begin(ReadCommitted)
+	defer rtx.Abort()
+	for key, want := range acked {
+		row, found, err := tbl2.Get(rtx, key, "v")
+		if err != nil || !found {
+			t.Fatalf("acknowledged key %d missing after recovery (found=%v err=%v)", key, found, err)
+		}
+		if got := row["v"].Int(); got != want {
+			t.Fatalf("key %d recovered v=%d, want %d", key, got, want)
+		}
+	}
+	db2.Close()
+}

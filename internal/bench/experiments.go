@@ -375,13 +375,15 @@ var Experiments = map[string]func(Options) error{
 	"table9":  Table9,
 	"query":   QueryExp,
 	"recover": RecoverExp,
+	"serve":   ServeExp,
 }
 
 // ExperimentIDs lists the identifiers in paper order; "query" (the unified
-// query API's filtered-scan + aggregate sweep) and "recover" (restart time,
-// full-log replay vs checkpoint+tail) extend the paper's set.
+// query API's filtered-scan + aggregate sweep), "recover" (restart time,
+// full-log replay vs checkpoint+tail), and "serve" (HTTP service layer:
+// group commit and admission control at the wire) extend the paper's set.
 var ExperimentIDs = []string{
 	"fig7a", "fig7b", "fig7c", "fig8", "table7",
 	"fig9a", "fig9b", "fig10a", "fig10c", "table8", "table9",
-	"query", "recover",
+	"query", "recover", "serve",
 }

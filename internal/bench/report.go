@@ -27,6 +27,13 @@ type Sample struct {
 	// RestartMillis is the wall-clock cost of rebuilding a database after a
 	// simulated crash (the "recover" experiment).
 	RestartMillis float64 `json:"restart_ms,omitempty"`
+	// The "serve" experiment's request-level metrics: end-to-end HTTP commit
+	// latency percentiles, WAL fsyncs amortized per committed transaction,
+	// and requests shed with 429 by admission control.
+	P50Micros      float64 `json:"p50_us,omitempty"`
+	P99Micros      float64 `json:"p99_us,omitempty"`
+	SyncsPerCommit float64 `json:"syncs_per_commit,omitempty"`
+	ShedReqs       int64   `json:"shed_reqs,omitempty"`
 }
 
 // Report aggregates the samples of one harness invocation plus the knobs

@@ -1,0 +1,228 @@
+// The "serve" experiment: end-to-end throughput and latency of the network
+// service layer (internal/server) over a file-backed WAL, isolating what
+// group commit buys at the wire. Concurrent HTTP clients commit insert
+// transactions of {1, 8, 64} operations each, with group commit on and
+// off; a final overload cell shrinks the admission queue until requests
+// are shed to show backpressure working (429 + Retry-After, not queueing
+// collapse).
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lstore"
+	"lstore/internal/server"
+)
+
+// serveCellResult is one measured (group, batch, clients) point.
+type serveCellResult struct {
+	committed  int64 // transactions acknowledged with 200
+	shed       int64 // requests answered 429
+	elapsed    time.Duration
+	latencies  []time.Duration // one per committed request
+	syncs      int             // WAL fsyncs over the window
+	newBatches int             // group batches over the window
+}
+
+func (r serveCellResult) txnsPerSec() float64 {
+	return float64(r.committed) / r.elapsed.Seconds()
+}
+
+func (r serveCellResult) pctile(p float64) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	sort.Slice(r.latencies, func(i, j int) bool { return r.latencies[i] < r.latencies[j] })
+	i := int(p * float64(len(r.latencies)-1))
+	return r.latencies[i]
+}
+
+// serveCell opens a fresh durable store under dir, serves it on a loopback
+// listener, and drives it closed-loop with `clients` concurrent workers for
+// o.Duration. Each request is one transaction of `batch` inserts with keys
+// unique across the cell.
+func serveCell(o Options, dir string, group bool, batch, clients int, cfg server.Config) (serveCellResult, error) {
+	var res serveCellResult
+	sub := filepath.Join(dir, fmt.Sprintf("g%v-b%d-q%d", group, batch, cfg.TxnQueue))
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		return res, err
+	}
+	st, err := server.OpenStore(server.StoreConfig{
+		WALPath:        filepath.Join(sub, "wal"),
+		CheckpointPath: filepath.Join(sub, "ckpt"),
+		NoGroupCommit:  !group,
+		Tables: []server.TableSpec{{
+			Name: "kv", Key: "id",
+			Columns: []lstore.Column{
+				{Name: "id", Type: lstore.Int64},
+				{Name: "v", Type: lstore.Int64},
+			},
+		}},
+	})
+	if err != nil {
+		return res, err
+	}
+	cfg.Checkpoint = st.Checkpoint
+	srv := server.New(st.DB, cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		st.Close()
+		return res, err
+	}
+	go srv.Serve(l) //nolint:errcheck // closed via the http.Server below
+	url := "http://" + l.Addr().String() + "/v1/txn"
+
+	transport := &http.Transport{MaxIdleConns: clients, MaxIdleConnsPerHost: clients}
+	client := &http.Client{Transport: transport}
+
+	startSyncs := st.DB.WALInfo().Syncs
+	startBatches := st.DB.WALInfo().GroupBatches
+	deadline := time.Now().Add(o.Duration)
+	var mu sync.Mutex // guards the per-worker merges below
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var lats []time.Duration
+			var committed, shed int64
+			for i := 0; time.Now().Before(deadline); i++ {
+				var sb strings.Builder
+				sb.WriteString(`{"ops":[`)
+				for j := 0; j < batch; j++ {
+					if j > 0 {
+						sb.WriteByte(',')
+					}
+					key := int64(w)*1_000_000_000 + int64(i)*int64(batch) + int64(j) + 1
+					fmt.Fprintf(&sb, `{"op":"insert","table":"kv","row":{"id":%d,"v":%d}}`, key, key)
+				}
+				sb.WriteString(`]}`)
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", strings.NewReader(sb.String()))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case 200:
+					committed++
+					lats = append(lats, time.Since(t0))
+				case http.StatusTooManyRequests:
+					shed++
+				default:
+					errCh <- fmt.Errorf("serve cell: unexpected status %d", resp.StatusCode)
+					return
+				}
+			}
+			mu.Lock()
+			res.committed += committed
+			res.shed += shed
+			res.latencies = append(res.latencies, lats...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	res.elapsed = o.Duration
+	wi := st.DB.WALInfo()
+	res.syncs = wi.Syncs - startSyncs
+	res.newBatches = wi.GroupBatches - startBatches
+	transport.CloseIdleConnections()
+
+	// Tear the cell down completely (drain, final checkpoint, close) so the
+	// next cell starts from a quiet machine.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = srv.Shutdown(shutdownCtx)
+	cancel()
+	select {
+	case werr := <-errCh:
+		return res, werr
+	default:
+	}
+	return res, err
+}
+
+// ServeExp measures the service layer end to end: committed transactions/s
+// and request latency per (group commit, ops-per-txn) cell, then one
+// deliberately undersized-queue cell to show admission control shedding
+// instead of queueing without bound.
+func ServeExp(o Options) error {
+	o = o.withDefaults()
+	clients := 16
+	dir, err := os.MkdirTemp("", "lstore-serve-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	o.printf("# serve: HTTP txn throughput/latency vs group commit — %d closed-loop clients, file-backed WAL\n", clients)
+	o.printf("%-8s %-8s %12s %10s %10s %14s\n", "group", "ops/txn", "txns/s", "p50(us)", "p99(us)", "syncs/commit")
+	for _, group := range []bool{true, false} {
+		for _, batch := range []int{1, 8, 64} {
+			res, err := serveCell(o, dir, group, batch, clients, server.Config{})
+			if err != nil {
+				return err
+			}
+			spc := float64(res.syncs) / float64(max64(res.committed, 1))
+			o.printf("%-8v %-8d %12.0f %10d %10d %14.3f\n",
+				group, batch, res.txnsPerSec(),
+				res.pctile(0.50).Microseconds(), res.pctile(0.99).Microseconds(), spc)
+			o.record(Sample{
+				Experiment: "serve", System: "L-Store",
+				Labels:         map[string]int{"group": boolInt(group), "batch": batch, "clients": clients},
+				TxnsPerSec:     res.txnsPerSec(),
+				P50Micros:      float64(res.pctile(0.50).Microseconds()),
+				P99Micros:      float64(res.pctile(0.99).Microseconds()),
+				SyncsPerCommit: spc,
+			})
+		}
+	}
+
+	// Overload: a 2-deep admission queue against 16 clients must shed with
+	// 429 (the shed count is the point — the server stays responsive for
+	// what it does admit).
+	res, err := serveCell(o, dir, true, 1, clients, server.Config{TxnQueue: 2})
+	if err != nil {
+		return err
+	}
+	o.printf("overload (txn queue 2): %d committed, %d shed with 429 (%.0f%% of offered)\n",
+		res.committed, res.shed, 100*float64(res.shed)/float64(max64(res.committed+res.shed, 1)))
+	if res.shed == 0 {
+		o.printf("  (warning: queue never filled — host too fast for this cell to overload)\n")
+	}
+	o.record(Sample{
+		Experiment: "serve", System: "L-Store",
+		Labels:     map[string]int{"group": 1, "batch": 1, "clients": clients, "txn_queue": 2},
+		TxnsPerSec: res.txnsPerSec(),
+		P50Micros:  float64(res.pctile(0.50).Microseconds()),
+		P99Micros:  float64(res.pctile(0.99).Microseconds()),
+		ShedReqs:   res.shed,
+	})
+	return nil
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

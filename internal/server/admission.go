@@ -1,0 +1,120 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+)
+
+// gate bounds one request class's in-flight count with a semaphore channel:
+// tryAcquire either takes a slot immediately or reports the queue full —
+// admission never blocks, because a blocked accept loop IS the collapse
+// admission control exists to prevent. Depth (len of the channel) is the
+// live queue gauge /v1/stats reports.
+type gate struct {
+	slots    chan struct{}
+	admitted atomic.Uint64
+	shed     atomic.Uint64
+}
+
+func newGate(depth int) *gate {
+	if depth < 1 {
+		depth = 1
+	}
+	return &gate{slots: make(chan struct{}, depth)}
+}
+
+func (g *gate) tryAcquire() bool {
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		return true
+	default:
+		g.shed.Add(1)
+		return false
+	}
+}
+
+func (g *gate) release() { <-g.slots }
+
+func (g *gate) depth() int { return len(g.slots) }
+func (g *gate) cap() int   { return cap(g.slots) }
+
+// admit runs the request-independent admission checks for a gate: drain
+// refusal and queue capacity. It writes the refusal response itself and
+// reports whether the caller owns a slot (and must release it).
+func (s *Server) admit(w http.ResponseWriter, g *gate) bool {
+	if s.draining.Load() {
+		jsonError(w, http.StatusServiceUnavailable, "server is draining")
+		return false
+	}
+	if !g.tryAcquire() {
+		s.shedResponse(w, "request queue full")
+		return false
+	}
+	return true
+}
+
+// admitTxn is admit plus the engine-health watermarks: transactions are
+// additionally shed while the merge backlog or the WAL flush lag says the
+// engine is already behind on the write path. Queries are not shed on
+// those gauges — they add no WAL load, and reads staying available while
+// writes shed is the point of separate classes.
+func (s *Server) admitTxn(w http.ResponseWriter) bool {
+	if s.draining.Load() {
+		jsonError(w, http.StatusServiceUnavailable, "server is draining")
+		return false
+	}
+	if reason, over := s.overloaded(); over {
+		s.overloadShed.Add(1)
+		s.shedResponse(w, reason)
+		return false
+	}
+	if !s.txnGate.tryAcquire() {
+		s.shedResponse(w, "transaction queue full")
+		return false
+	}
+	return true
+}
+
+// overloaded evaluates the watermarks against the engine's own gauges.
+func (s *Server) overloaded() (string, bool) {
+	if s.cfg.MaxMergeBacklog >= 0 {
+		if b := s.mergeBacklog(); b > s.cfg.MaxMergeBacklog {
+			return fmt.Sprintf("merge backlog %d over watermark %d", b, s.cfg.MaxMergeBacklog), true
+		}
+	}
+	if s.cfg.MaxWALFlushLag >= 0 {
+		wi := s.db.WALInfo()
+		if wi.Attached {
+			if lag := int64(wi.LastLSN - wi.FlushedLSN); lag > s.cfg.MaxWALFlushLag {
+				return fmt.Sprintf("WAL flush lag %d over watermark %d", lag, s.cfg.MaxWALFlushLag), true
+			}
+		}
+	}
+	return "", false
+}
+
+// mergeBacklog sums the merge backlog gauge across tables — the distance
+// between writers and the merge scheduler, engine-wide.
+func (s *Server) mergeBacklog() int64 {
+	var total int64
+	for _, name := range s.db.TableNames() {
+		if tbl, ok := s.db.Table(name); ok {
+			total += tbl.Stats().MergeBacklog
+		}
+	}
+	return total
+}
+
+// shedResponse is the 429 contract: status, Retry-After hint, and a JSON
+// body naming the reason, so clients can distinguish shed classes.
+func (s *Server) shedResponse(w http.ResponseWriter, reason string) {
+	secs := int(s.cfg.RetryAfter.Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	jsonError(w, http.StatusTooManyRequests, reason)
+}

@@ -1,0 +1,214 @@
+// Package server exposes an lstore.DB over HTTP/JSON — the serving layer
+// of the engine: a transaction endpoint (POST /v1/txn, a batch of
+// operations committed atomically), a query endpoint (POST /v1/query, the
+// Query builder on the wire), DDL (POST /v1/tables), and introspection
+// (GET /v1/tables, GET /v1/stats, GET /healthz).
+//
+// The layer's job is not just translation; it is the engine's contact
+// point with load it does not control, so it owns ADMISSION: request
+// concurrency is bounded by per-class queues (transactions and queries
+// separately — analytics must not starve commits and vice versa), and when
+// the engine's own gauges say it is falling behind — summed merge backlog
+// across tables, or WAL flush lag — new transactions are shed with 429 and
+// a Retry-After hint instead of being queued into a collapse. Shedding
+// reads the same gauges lstore-inspect prints; there is no separate
+// bookkeeping to drift out of sync.
+//
+// Shutdown is a DRAIN, not a stop: Shutdown flips the server into
+// draining (healthz goes 503, new requests are refused), waits for
+// in-flight requests, flushes the WAL, writes a final checkpoint, and
+// closes the DB — so a SIGTERM'd server restarts from a checkpoint plus an
+// empty log tail.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lstore"
+)
+
+// Config tunes admission control and shutdown behavior. The zero value
+// gets sensible defaults; negative watermarks disable that shed trigger.
+type Config struct {
+	// TxnQueue / QueryQueue bound the number of in-flight requests per
+	// class (admitted and executing, including those blocked on engine
+	// locks). A full queue sheds with 429. Defaults: 64 each.
+	TxnQueue   int
+	QueryQueue int
+
+	// MaxMergeBacklog sheds new transactions when the summed merge backlog
+	// across all tables (tail records not yet consolidated by the merge)
+	// exceeds it — writers have outrun the merge and the scan path is
+	// degrading. Default 1<<16; negative disables.
+	MaxMergeBacklog int64
+
+	// MaxWALFlushLag sheds new transactions when LastLSN-FlushedLSN (log
+	// records appended but not yet durable) exceeds it — commits are
+	// outrunning the device. Default 1<<16; negative disables.
+	MaxWALFlushLag int64
+
+	// RetryAfter is the hint sent with 429 responses. Default 1s.
+	RetryAfter time.Duration
+
+	// Checkpoint, when non-nil, receives a checkpoint after every DDL
+	// (table creation is not WAL-logged — the image is what makes it
+	// durable) and the final checkpoint written by Shutdown.
+	Checkpoint lstore.CheckpointSink
+}
+
+func (c Config) withDefaults() Config {
+	if c.TxnQueue == 0 {
+		c.TxnQueue = 64
+	}
+	if c.QueryQueue == 0 {
+		c.QueryQueue = 64
+	}
+	if c.MaxMergeBacklog == 0 {
+		c.MaxMergeBacklog = 1 << 16
+	}
+	if c.MaxWALFlushLag == 0 {
+		c.MaxWALFlushLag = 1 << 16
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server serves one DB. Build with New, run with Serve, stop with
+// Shutdown (which drains and closes the DB).
+type Server struct {
+	db   *lstore.DB
+	cfg  Config
+	hs   *http.Server
+	mux  *http.ServeMux
+	born time.Time
+
+	txnGate   *gate
+	queryGate *gate
+	draining  atomic.Bool
+	// overloadShed counts transactions refused by the watermark check
+	// (queue sheds are counted by their gate).
+	overloadShed atomic.Uint64
+
+	// ddlMu serializes DDL requests: CreateTable itself is safe, but the
+	// create+checkpoint pair must not interleave with another DDL's pair.
+	ddlMu sync.Mutex
+
+	sessMu     sync.Mutex
+	sessions   map[net.Conn]*session // guarded by sessMu
+	sessionSeq uint64                // guarded by sessMu
+	sessTotal  uint64                // guarded by sessMu
+}
+
+// New builds a server over db. The caller keeps ownership of db until
+// Shutdown, which closes it.
+func New(db *lstore.DB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		db:        db,
+		cfg:       cfg,
+		born:      time.Now(),
+		txnGate:   newGate(cfg.TxnQueue),
+		queryGate: newGate(cfg.QueryQueue),
+		sessions:  make(map[net.Conn]*session),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/txn", s.handleTxn)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/tables", s.handleCreateTable)
+	s.mux.HandleFunc("GET /v1/tables", s.handleListTables)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.hs = &http.Server{
+		Handler:     s.mux,
+		ConnContext: s.connContext,
+		ConnState:   s.connState,
+	}
+	return s
+}
+
+// Handler returns the route table (for in-process tests that bypass the
+// listener). Sessions only exist for connections served through Serve.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown; it returns
+// http.ErrServerClosed after a clean drain, like net/http.
+func (s *Server) Serve(l net.Listener) error { return s.hs.Serve(l) }
+
+// Shutdown drains and closes everything, in dependency order: stop
+// admitting (healthz 503, requests refused), wait for in-flight requests
+// (bounded by ctx), force the WAL durable, write the final checkpoint so
+// restart is image + empty tail, and close the DB. Safe to call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	var errs []error
+	if err := s.hs.Shutdown(ctx); err != nil {
+		errs = append(errs, fmt.Errorf("http drain: %w", err))
+	}
+	if err := s.db.FlushWAL(); err != nil {
+		errs = append(errs, fmt.Errorf("final WAL flush: %w", err))
+	}
+	if s.cfg.Checkpoint != nil {
+		if _, err := s.db.CheckpointTo(s.cfg.Checkpoint); err != nil {
+			errs = append(errs, fmt.Errorf("final checkpoint: %w", err))
+		}
+	}
+	s.db.Close()
+	return errors.Join(errs...)
+}
+
+// ---------------------------------------------------------------------------
+// Sessions
+
+// session is per-connection state: identity plus what the connection has
+// done, attached to every request's context by ConnContext and reported in
+// aggregate by /v1/stats.
+type session struct {
+	id      uint64
+	remote  string
+	txns    atomic.Uint64
+	queries atomic.Uint64
+}
+
+type sessionKey struct{}
+
+func (s *Server) connContext(ctx context.Context, c net.Conn) context.Context {
+	sess := &session{remote: c.RemoteAddr().String()}
+	s.sessMu.Lock()
+	s.sessionSeq++
+	s.sessTotal++
+	sess.id = s.sessionSeq
+	s.sessions[c] = sess
+	s.sessMu.Unlock()
+	return context.WithValue(ctx, sessionKey{}, sess)
+}
+
+func (s *Server) connState(c net.Conn, st http.ConnState) {
+	if st != http.StateClosed && st != http.StateHijacked {
+		return
+	}
+	s.sessMu.Lock()
+	delete(s.sessions, c)
+	s.sessMu.Unlock()
+}
+
+// sessionFrom returns the request's session; nil for handler-only tests
+// that never went through a real connection.
+func sessionFrom(ctx context.Context) *session {
+	sess, _ := ctx.Value(sessionKey{}).(*session)
+	return sess
+}
+
+func (s *Server) sessionCounts() (active int, total uint64) {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	return len(s.sessions), s.sessTotal
+}

@@ -1,0 +1,282 @@
+// Durable store open/recover for the serving layer.
+//
+// The subtlety this file exists for: Recover RE-LOGS everything it applies
+// into the new WAL with fresh LSNs, so after a restart there are two LSN
+// sequences in play — the pre-crash generation (old checkpoint + old log)
+// and the new one. Mixing them is silently wrong: a checkpoint watermark
+// from one generation filters a log tail from another into either double
+// replay or dropped transactions. The protocol below makes generations
+// explicit so a (checkpoint, tail) pair is only ever consumed when both
+// sides are from the same generation:
+//
+//   - WAL files are named <wal>.<generation>; a generation file <wal>.gen
+//     (atomically replaced) names the generation the on-disk recovery pair
+//     (checkpoint image + that generation's WAL) belongs to.
+//
+//   - Startup reads gen G, deletes WAL files of any other generation
+//     (leftovers of crashed recoveries — G is authoritative until the new
+//     pair is complete), recovers from checkpoint+wal.G into a FRESH
+//     wal.G+1, checkpoints (image now belongs to G+1, wal.G+1 truncated
+//     beneath it), and only then commits the new generation by writing
+//     G+1 to the gen file. A crash anywhere before that write replays the
+//     exact same recovery from the untouched G pair; a crash after it
+//     restarts from the complete G+1 pair.
+//
+//   - While serving, the background checkpointer keeps replacing the image
+//     with G+1-watermarked ones and truncating wal.G+1 — in-generation,
+//     always a valid pair.
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"lstore"
+)
+
+// TableSpec declares one table for bootstrap of a fresh store. On restart
+// the checkpoint image's recorded schema is authoritative; specs only add
+// tables that do not exist yet.
+type TableSpec struct {
+	Name    string
+	Key     string
+	Columns []lstore.Column
+	Indexes []string
+}
+
+// StoreConfig configures OpenStore.
+type StoreConfig struct {
+	// WALPath is the base path; generation files live at WALPath.<gen> and
+	// the generation marker at WALPath.gen.
+	WALPath string
+	// CheckpointPath holds the single atomically-replaced image.
+	CheckpointPath string
+	// CheckpointEvery runs the background checkpointer (0 = only explicit
+	// checkpoints: after DDL and at drain).
+	CheckpointEvery time.Duration
+	// Tables bootstraps a fresh store (and adds missing tables on restart).
+	Tables []TableSpec
+	// NoGroupCommit selects a flush (and fsync) per commit.
+	NoGroupCommit bool
+}
+
+// Store is an opened durable store: the DB plus the sinks and identity the
+// serving layer needs for DDL/drain checkpoints.
+type Store struct {
+	DB         *lstore.DB
+	Checkpoint *lstore.FileCheckpointSink
+	Generation uint64              // the committed recovery generation
+	WALFile    string              // active log: WALPath.<Generation>
+	Recovered  lstore.RecoverStats // what startup recovery replayed
+}
+
+// OpenStore opens (creating if absent) the store rooted at cfg.WALPath /
+// cfg.CheckpointPath, recovering any previous state. On return the store
+// is fully durable again: schema and data are covered by a fresh
+// checkpoint plus the (truncated) new log, and the old generation's files
+// are gone.
+func OpenStore(cfg StoreConfig) (*Store, error) {
+	if cfg.WALPath == "" || cfg.CheckpointPath == "" {
+		return nil, fmt.Errorf("server: OpenStore needs both a WAL path and a checkpoint path")
+	}
+	gen, err := readGeneration(cfg.WALPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := removeStaleWALs(cfg.WALPath, gen); err != nil {
+		return nil, err
+	}
+
+	// Recovery sources: generation gen's pair. A missing WAL file is fine
+	// (a drain checkpoint may have truncated it to nothing).
+	var tail []byte
+	if gen > 0 {
+		b, err := os.ReadFile(walGenPath(cfg.WALPath, gen))
+		if err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("server: read WAL generation %d: %w", gen, err)
+		}
+		tail = b
+	}
+	ckptSink, err := lstore.NewFileCheckpointSink(cfg.CheckpointPath)
+	if err != nil {
+		return nil, err
+	}
+	ckptReader, _, haveCkpt := ckptSink.Latest()
+	if haveCkpt && gen == 0 {
+		// A checkpoint with no generation marker cannot be paired with any
+		// log; loading it could silently drop a tail we can no longer find.
+		return nil, fmt.Errorf("server: checkpoint exists at %s but no generation file at %s — refusing to guess",
+			cfg.CheckpointPath, genPath(cfg.WALPath))
+	}
+
+	newGen := gen + 1
+	walSink, err := lstore.OpenWALFile(walGenPath(cfg.WALPath, newGen))
+	if err != nil {
+		return nil, err
+	}
+	opts := []lstore.Option{lstore.WithWAL(walSink, nil)}
+	if cfg.CheckpointEvery > 0 {
+		opts = append(opts, lstore.WithCheckpointEvery(cfg.CheckpointEvery, ckptSink))
+	}
+	if cfg.NoGroupCommit {
+		opts = append(opts, lstore.WithoutGroupCommit())
+	}
+	db := lstore.Open(opts...)
+	fail := func(err error) (*Store, error) {
+		db.Close()
+		os.Remove(walGenPath(cfg.WALPath, newGen)) //nolint:errcheck // next startup removes it as stale
+		return nil, err
+	}
+
+	// Schema first: Recover replays into tables that must already exist,
+	// with the same ids (creation order). The image records the schema;
+	// table creation is not WAL-logged.
+	if haveCkpt {
+		schemaReader, _, ok := ckptSink.Latest()
+		if !ok {
+			return fail(fmt.Errorf("server: checkpoint disappeared during open"))
+		}
+		decls, err := lstore.CheckpointSchema(schemaReader)
+		if err != nil {
+			return fail(fmt.Errorf("server: checkpoint schema: %w", err))
+		}
+		for _, d := range decls {
+			if _, err := db.CreateTable(d.Name, d.Schema(), lstore.TableOptions{SecondaryIndexes: d.SecondaryIndexes}); err != nil {
+				return fail(fmt.Errorf("server: recreate table %q: %w", d.Name, err))
+			}
+		}
+	}
+	st := &Store{DB: db, Checkpoint: ckptSink, Generation: newGen, WALFile: walGenPath(cfg.WALPath, newGen)}
+	if haveCkpt || len(tail) > 0 {
+		var tailReader io.Reader
+		if len(tail) > 0 {
+			tailReader = bytes.NewReader(tail)
+		}
+		if !haveCkpt {
+			ckptReader = nil
+		}
+		stats, err := lstore.Recover(db, ckptReader, tailReader)
+		if err != nil {
+			return fail(fmt.Errorf("server: recover generation %d: %w", gen, err))
+		}
+		st.Recovered = stats
+	}
+	// Bootstrap tables the image does not know about (fresh store, or new
+	// specs added across a restart). After Recover: their ids must come
+	// after every replayed table's.
+	for _, spec := range cfg.Tables {
+		if _, ok := db.Table(spec.Name); ok {
+			continue
+		}
+		if _, err := db.CreateTable(spec.Name, lstore.NewSchema(spec.Key, spec.Columns...),
+			lstore.TableOptions{SecondaryIndexes: spec.Indexes}); err != nil {
+			return fail(fmt.Errorf("server: create table %q: %w", spec.Name, err))
+		}
+	}
+
+	// Complete the new generation's pair (image with a newGen watermark;
+	// wal.newGen truncated beneath it), then commit the generation switch.
+	if _, err := db.CheckpointTo(ckptSink); err != nil {
+		return fail(fmt.Errorf("server: startup checkpoint: %w", err))
+	}
+	if err := writeGeneration(cfg.WALPath, newGen); err != nil {
+		return fail(err)
+	}
+	if gen > 0 {
+		os.Remove(walGenPath(cfg.WALPath, gen)) //nolint:errcheck // best-effort; next startup removes it as stale
+	}
+	return st, nil
+}
+
+// Close stops background work and closes the DB (without a final
+// checkpoint — Server.Shutdown does the drain sequence).
+func (st *Store) Close() { st.DB.Close() }
+
+// ---------------------------------------------------------------------------
+// Generation bookkeeping
+
+func genPath(walPath string) string { return walPath + ".gen" }
+
+func walGenPath(walPath string, gen uint64) string {
+	return fmt.Sprintf("%s.%06d", walPath, gen)
+}
+
+func readGeneration(walPath string) (uint64, error) {
+	b, err := os.ReadFile(genPath(walPath))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("server: read generation file: %w", err)
+	}
+	gen, perr := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+	if perr != nil || gen == 0 {
+		return 0, fmt.Errorf("server: generation file %s is corrupt (%q)", genPath(walPath), b)
+	}
+	return gen, nil
+}
+
+// writeGeneration atomically replaces the generation marker: temp file,
+// fsync, rename, directory fsync — the same discipline as the checkpoint
+// image, because this write is what commits a recovery.
+func writeGeneration(walPath string, gen uint64) error {
+	path := genPath(walPath)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: write generation file: %w", err)
+	}
+	if _, err := fmt.Fprintf(f, "%d\n", gen); err != nil {
+		f.Close()
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup of a failed write
+		return fmt.Errorf("server: write generation file: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup of a failed write
+		return fmt.Errorf("server: sync generation file: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup of a failed write
+		return fmt.Errorf("server: close generation file: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup of a failed write
+		return fmt.Errorf("server: commit generation file: %w", err)
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()  //nolint:errcheck // best-effort; rename itself is atomic
+		d.Close() //nolint:errcheck // read-only handle
+	}
+	return nil
+}
+
+// removeStaleWALs deletes WAL generation files other than gen: newer ones
+// are partial re-logs of recoveries that crashed before committing their
+// generation, older ones are superseded.
+func removeStaleWALs(walPath string, gen uint64) error {
+	matches, err := filepath.Glob(walPath + ".*")
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		suffix := strings.TrimPrefix(m, walPath+".")
+		g, perr := strconv.ParseUint(suffix, 10, 64)
+		if perr != nil {
+			continue // .gen, .tmp, checkpoint droppings — not a generation file
+		}
+		if g == gen {
+			continue
+		}
+		if err := os.Remove(m); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("server: remove stale WAL %s: %w", m, err)
+		}
+	}
+	return nil
+}

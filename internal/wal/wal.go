@@ -153,6 +153,15 @@ type Logger struct {
 	dropped      int64       // guarded by mu; bytes already discarded from the sink's front
 	offsets      []lsnOffset // guarded by mu; end offsets of retained records, ascending
 	truncated    uint64      // guarded by mu; highest LSN discarded by TruncateTo
+
+	// Group-commit committer state (committer.go). gcMu is ordered BEFORE mu:
+	// the leader coordinates through gcMu and reads flush state (which takes
+	// mu) while holding it; mu is never held while acquiring gcMu.
+	group      bool       // immutable after NewLogger/SetGroupCommit (set before concurrent use)
+	gcMu       sync.Mutex // committer coordination lock
+	gcWake     *sync.Cond // on gcMu; signaled when a leader's flush completes
+	gcFlushing bool       // guarded by gcMu; a batch leader's flush is in flight
+	gcBatches  int        // guarded by gcMu; commit batches flushed by a leader
 }
 
 // NewLogger wraps sink (a file or buffer). syncFn, if non-nil, is invoked
@@ -166,14 +175,17 @@ type Logger struct {
 func NewLogger(sink io.Writer, syncFn func()) *Logger {
 	_, truncatable := sink.(TruncatableSink)
 	syncer, _ := sink.(Syncer)
-	return &Logger{
+	l := &Logger{
 		w:            bufio.NewWriterSize(shortWriteGuard{sink}, 1<<16),
 		sink:         sink,
 		syncer:       syncer,
 		nextLSN:      1,
 		synced:       syncFn,
 		trackOffsets: truncatable,
+		group:        true,
 	}
+	l.gcWake = sync.NewCond(&l.gcMu)
+	return l
 }
 
 // shortWriteGuard enforces the io.Writer contract on the sink: n < len(p)
@@ -216,15 +228,21 @@ func (l *Logger) Append(rec Record) (uint64, error) {
 	return rec.LSN, nil
 }
 
-// AppendCommit appends a commit record and flushes — the group-commit
-// point: every record buffered before it (from any transaction) becomes
-// durable together.
+// AppendCommit appends a commit record and makes it durable — the
+// group-commit point: every record buffered before it (from any
+// transaction) becomes durable together. With group commit on (the
+// default), concurrent callers batch onto one leader's flush (committer.go:
+// one fsync vouches for the whole batch, a failed flush fails every waiter
+// in it); with it off, each call runs its own flush.
 func (l *Logger) AppendCommit(txnID uint64) (uint64, error) {
 	lsn, err := l.Append(Record{Kind: KindCommit, TxnID: txnID})
 	if err != nil {
 		return 0, err
 	}
 	cpAppendPreFlush.Hit() // the commit record is buffered but not yet durable
+	if l.group {
+		return lsn, l.commitWait(lsn)
+	}
 	return lsn, l.Flush()
 }
 
@@ -337,6 +355,15 @@ func (l *Logger) FlushedLSN() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.flushed
+}
+
+// LastLSN returns the highest LSN handed out by Append. LastLSN minus
+// FlushedLSN is the flush lag — records buffered but not yet durable, the
+// WAL-side backpressure gauge a serving layer sheds load on.
+func (l *Logger) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
 }
 
 // Syncs returns how many flushes have run (group-commit effectiveness).

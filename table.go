@@ -20,6 +20,28 @@ type Table struct {
 // Name returns the table name.
 func (tb *Table) Name() string { return tb.name }
 
+// Key returns the primary-key column name.
+func (tb *Table) Key() string { return tb.schema.Cols[tb.schema.Key].Name }
+
+// ColumnDefs returns the column declarations in schema order.
+func (tb *Table) ColumnDefs() []Column {
+	out := make([]Column, tb.schema.NumCols())
+	for i, c := range tb.schema.Cols {
+		out[i] = Column{Name: c.Name, Type: c.Type}
+	}
+	return out
+}
+
+// SecondaryIndexes returns the names of columns with declared secondary
+// indexes, in column order.
+func (tb *Table) SecondaryIndexes() []string {
+	var out []string
+	for _, ci := range tb.store.Config().SecondaryIndexColumns {
+		out = append(out, tb.schema.Cols[ci].Name)
+	}
+	return out
+}
+
 // Columns returns the column names in schema order.
 func (tb *Table) Columns() []string {
 	out := make([]string, tb.schema.NumCols())
