@@ -537,22 +537,68 @@ func (db *DB) CheckpointTo(sink CheckpointSink) (CheckpointInfo, error) {
 	return info, nil
 }
 
-// checkpointRound is one background-checkpointer cycle; errors are dropped
-// (the next tick retries, the previous image stays authoritative).
+// StartCheckpointer starts the background checkpointer on an already-open
+// database — the same loop WithCheckpointEvery runs, but under the caller's
+// control of WHEN it begins. A durable serving layer needs exactly that:
+// recovery re-logs into a fresh WAL generation, and until the new
+// (checkpoint, WAL) pair is committed on disk, a background checkpoint
+// would overwrite the only image — possibly with a half-recovered or empty
+// database — while the generation marker still names the old pair. Such
+// callers Open without WithCheckpointEvery, finish recovery and commit the
+// generation, and only then start the checkpointer. The checkpointer can be
+// started once per DB; Close stops it.
+func (db *DB) StartCheckpointer(every time.Duration, sink CheckpointSink) error {
+	if every <= 0 || sink == nil {
+		return fmt.Errorf("lstore: StartCheckpointer needs a positive interval and a sink")
+	}
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return fmt.Errorf("lstore: StartCheckpointer on closed database")
+	}
+	if db.ckptStop != nil {
+		db.mu.Unlock()
+		return fmt.Errorf("lstore: checkpointer already started")
+	}
+	db.ckptEvery, db.ckptSink = every, sink
+	stop, done := db.armCheckpointerLocked()
+	db.mu.Unlock()
+	go db.checkpointLoop(every, sink, stop, done)
+	return nil
+}
+
+// armCheckpointerLocked creates the checkpointer's stop/done channels and
+// returns them; the caller launches checkpointLoop AFTER releasing mu (the
+// loop acquires ckptRoundMu, which is ordered before mu). The loop takes
+// its state as arguments so it never reads the mu-guarded channel fields.
+//
+// locked: db.mu
+func (db *DB) armCheckpointerLocked() (stop, done chan struct{}) {
+	db.ckptStop = make(chan struct{})
+	db.ckptDone = make(chan struct{})
+	return db.ckptStop, db.ckptDone
+}
+
+// checkpointRound is one background-checkpointer cycle against the
+// configured sink; errors are dropped (the previous image stays
+// authoritative). The torture tests drive rounds through it manually.
 func (db *DB) checkpointRound() {
 	db.CheckpointTo(db.ckptSink) //nolint:errcheck // see doc comment
 }
 
-func (db *DB) checkpointLoop() {
-	defer close(db.ckptDone)
-	tick := time.NewTicker(db.ckptEvery)
+// checkpointLoop runs checkpoint rounds every tick until stop closes.
+// Round errors are dropped: the next tick retries, the previous image stays
+// authoritative.
+func (db *DB) checkpointLoop(every time.Duration, sink CheckpointSink, stop, done chan struct{}) {
+	defer close(done)
+	tick := time.NewTicker(every)
 	defer tick.Stop()
 	for {
 		select {
-		case <-db.ckptStop:
+		case <-stop:
 			return
 		case <-tick.C:
-			db.checkpointRound()
+			db.CheckpointTo(sink) //nolint:errcheck // see doc comment
 		}
 	}
 }

@@ -90,7 +90,7 @@ func main() {
 	var (
 		listen      = flag.String("listen", "127.0.0.1:7433", "listen address")
 		walPath     = flag.String("wal", "", "WAL base path (required; generations live at <path>.NNNNNN)")
-		ckptPath    = flag.String("checkpoint", "", "checkpoint image path (required)")
+		ckptPath    = flag.String("checkpoint", "", "checkpoint base path (required; generation images live at <path>.NNNNNN)")
 		ckptEvery   = flag.Duration("checkpoint-every", 30*time.Second, "background checkpoint cadence (0 = only DDL/drain checkpoints)")
 		txnQueue    = flag.Int("txn-queue", 64, "max in-flight transactions before shedding")
 		queryQueue  = flag.Int("query-queue", 64, "max in-flight queries before shedding")

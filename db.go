@@ -59,11 +59,13 @@ type DB struct {
 	// could truncate the re-logged records out from under it.
 	ckptRoundMu sync.Mutex
 
-	// Background checkpointer (WithCheckpointEvery).
+	// Background checkpointer (WithCheckpointEvery or StartCheckpointer).
+	// ckptEvery/ckptSink are written before the checkpointer goroutine
+	// starts and immutable afterwards.
 	ckptEvery time.Duration
 	ckptSink  CheckpointSink
-	ckptStop  chan struct{}
-	ckptDone  chan struct{}
+	ckptStop  chan struct{} // guarded by mu; non-nil once the checkpointer ran
+	ckptDone  chan struct{} // guarded by mu
 	ckptOnce  sync.Once
 
 	// noGroupCommit (WithoutGroupCommit) is applied to the logger once in
@@ -145,20 +147,24 @@ type WALInfo struct {
 }
 
 // WALInfo reports the attached log's state; the zero WALInfo when no WAL.
+// The LSN counters come from one locked snapshot, so LastLSN-FlushedLSN
+// (the flush-lag gauge admission control sheds on) never underflows from a
+// flush landing between two separate reads.
 func (db *DB) WALInfo() WALInfo {
 	if db.logger == nil {
 		return WALInfo{}
 	}
+	g := db.logger.Gauges()
 	return WALInfo{
 		Attached:     true,
-		Appended:     db.logger.Appended(),
-		LastLSN:      db.logger.LastLSN(),
-		FlushedLSN:   db.logger.FlushedLSN(),
-		TruncatedLSN: db.logger.TruncatedLSN(),
-		Syncs:        db.logger.Syncs(),
+		Appended:     g.Appended,
+		LastLSN:      g.LastLSN,
+		FlushedLSN:   g.FlushedLSN,
+		TruncatedLSN: g.TruncatedLSN,
+		Syncs:        g.Syncs,
 		GroupCommit:  db.logger.GroupCommit(),
 		GroupBatches: db.logger.GroupBatches(),
-		Err:          db.logger.Err(),
+		Err:          g.Err,
 	}
 }
 
@@ -186,9 +192,10 @@ func Open(opts ...Option) *DB {
 		db.logger.SetGroupCommit(false)
 	}
 	if db.ckptEvery > 0 && db.ckptSink != nil {
-		db.ckptStop = make(chan struct{})
-		db.ckptDone = make(chan struct{})
-		go db.checkpointLoop()
+		db.mu.Lock()
+		stop, done := db.armCheckpointerLocked()
+		db.mu.Unlock()
+		go db.checkpointLoop(db.ckptEvery, db.ckptSink, stop, done)
 	}
 	return db
 }
@@ -209,12 +216,15 @@ func (db *DB) Close() {
 }
 
 func (db *DB) stopCheckpointer() {
-	if db.ckptStop == nil {
+	db.mu.Lock()
+	stop, done := db.ckptStop, db.ckptDone
+	db.mu.Unlock()
+	if stop == nil {
 		return
 	}
 	db.ckptOnce.Do(func() {
-		close(db.ckptStop)
-		<-db.ckptDone
+		close(stop)
+		<-done
 	})
 }
 

@@ -416,7 +416,9 @@ func queryErrStatus(err error) int {
 	if errors.Is(err, lstore.ErrTypeMismatch) {
 		return http.StatusBadRequest
 	}
-	return http.StatusBadRequest
+	// Anything else is the engine failing mid-execution (scan error,
+	// poisoned state) — a server fault, not a malformed request.
+	return http.StatusInternalServerError
 }
 
 // ---------------------------------------------------------------------------

@@ -94,6 +94,9 @@ type Server struct {
 	txnGate   *gate
 	queryGate *gate
 	draining  atomic.Bool
+	// forcedGrace bounds the wait for in-flight requests to finish after a
+	// drain timeout forced the connections closed (tests shrink it).
+	forcedGrace time.Duration
 	// overloadShed counts transactions refused by the watermark check
 	// (queue sheds are counted by their gate).
 	overloadShed atomic.Uint64
@@ -113,12 +116,13 @@ type Server struct {
 func New(db *lstore.DB, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		db:        db,
-		cfg:       cfg,
-		born:      time.Now(),
-		txnGate:   newGate(cfg.TxnQueue),
-		queryGate: newGate(cfg.QueryQueue),
-		sessions:  make(map[net.Conn]*session),
+		db:          db,
+		cfg:         cfg,
+		born:        time.Now(),
+		txnGate:     newGate(cfg.TxnQueue),
+		queryGate:   newGate(cfg.QueryQueue),
+		forcedGrace: 5 * time.Second,
+		sessions:    make(map[net.Conn]*session),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/txn", s.handleTxn)
@@ -147,11 +151,33 @@ func (s *Server) Serve(l net.Listener) error { return s.hs.Serve(l) }
 // admitting (healthz 503, requests refused), wait for in-flight requests
 // (bounded by ctx), force the WAL durable, write the final checkpoint so
 // restart is image + empty tail, and close the DB. Safe to call once.
+//
+// A drain timeout (ctx expired with requests still in flight — e.g. a slow
+// client outlasting -drain-timeout) must NOT fall through to db.Close:
+// handlers may still be executing transactions and scans, and closing every
+// table store under them races live requests against closed stores. The
+// timeout path instead force-closes the connections (hs.Close) and waits —
+// bounded by forcedGrace — for both request gates to empty. If handlers are
+// still inside the engine after that, the DB is left open and the error
+// says so: an unclosed process that exits restarts from the WAL like a
+// crash, which is strictly safer than corrupting this one.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	var errs []error
 	if err := s.hs.Shutdown(ctx); err != nil {
 		errs = append(errs, fmt.Errorf("http drain: %w", err))
+		if cerr := s.hs.Close(); cerr != nil {
+			errs = append(errs, fmt.Errorf("http close: %w", cerr))
+		}
+		if !s.awaitIdle(s.forcedGrace) {
+			if err := s.db.FlushWAL(); err != nil {
+				errs = append(errs, fmt.Errorf("final WAL flush: %w", err))
+			}
+			errs = append(errs, fmt.Errorf(
+				"%d transactions and %d queries still executing after forced close; DB left open, no final checkpoint",
+				s.txnGate.depth(), s.queryGate.depth()))
+			return errors.Join(errs...)
+		}
 	}
 	if err := s.db.FlushWAL(); err != nil {
 		errs = append(errs, fmt.Errorf("final WAL flush: %w", err))
@@ -163,6 +189,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.db.Close()
 	return errors.Join(errs...)
+}
+
+// awaitIdle polls until both request gates report zero in-flight requests
+// or grace expires. Handlers whose connections were force-closed finish
+// quickly (their response writes fail); only a handler stuck inside the
+// engine outlasts the grace.
+func (s *Server) awaitIdle(grace time.Duration) bool {
+	deadline := time.Now().Add(grace)
+	for {
+		if s.txnGate.depth() == 0 && s.queryGate.depth() == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // ---------------------------------------------------------------------------

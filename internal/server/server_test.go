@@ -230,6 +230,115 @@ func TestCrashRestartRecovers(t *testing.T) {
 	}
 }
 
+// TestCrashBetweenStartupCheckpointAndGenCommit reproduces the window the
+// generation protocol exists for: a recovery that completed its startup
+// checkpoint (new-generation image durable on disk) but crashed before the
+// gen file committed the switch. Because images are generation-tagged, the
+// old pair is untouched — the next open must discard both partial
+// new-generation halves and replay identically, with no doubled effects
+// and no duplicate-key recovery failure.
+func TestCrashBetweenStartupCheckpointAndGenCommit(t *testing.T) {
+	dir := t.TempDir()
+	cfg := storeConfig(dir)
+	st, err := OpenStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := st.DB.Table("kv")
+	for i := 1; i <= 10; i++ {
+		tx := st.DB.Begin(lstore.ReadCommitted)
+		if err := tbl.Insert(tx, lstore.Row{"id": lstore.Int(int64(i)), "v": lstore.Int(int64(i * 10))}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.DB.Close() // crash 1: no drain — the 10 txns live in wal.<gen>'s tail
+	gen := st.Generation
+
+	// Crash 2, mid-recovery: run the second open's work by hand — recover
+	// the gen pair into a fresh gen+1 WAL, write the gen+1 startup
+	// checkpoint — and then "die" before writeGeneration. This is exactly
+	// the state a process kill in that window leaves on disk: complete
+	// ckpt.<gen+1> and wal.<gen+1>, gen file still naming gen.
+	tail, err := os.ReadFile(walGenPath(cfg.WALPath, gen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := lstore.NewFileCheckpointSink(ckptGenPath(cfg.CheckpointPath, gen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	walSink, err := lstore.OpenWALFile(walGenPath(cfg.WALPath, gen+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2 := lstore.Open(lstore.WithWAL(walSink, nil))
+	schemaReader, _, ok := prev.Latest()
+	if !ok {
+		t.Fatal("generation image missing")
+	}
+	decls, err := lstore.CheckpointSchema(schemaReader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range decls {
+		if _, err := db2.CreateTable(d.Name, d.Schema(), lstore.TableOptions{SecondaryIndexes: d.SecondaryIndexes}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ckptReader, _, _ := prev.Latest()
+	if _, err := lstore.Recover(db2, ckptReader, bytes.NewReader(tail)); err != nil {
+		t.Fatal(err)
+	}
+	next, err := lstore.NewFileCheckpointSink(ckptGenPath(cfg.CheckpointPath, gen+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.CheckpointTo(next); err != nil {
+		t.Fatal(err)
+	}
+	db2.Close() // crash 2: writeGeneration never ran
+
+	// The old generation's image must still exist (a shared image path
+	// would have been overwritten by the gen+1 startup checkpoint above).
+	if _, err := os.Stat(ckptGenPath(cfg.CheckpointPath, gen)); err != nil {
+		t.Fatalf("old generation's image gone before the gen commit: %v", err)
+	}
+
+	st3, err := OpenStore(cfg)
+	if err != nil {
+		t.Fatalf("reopen after crashed recovery: %v", err)
+	}
+	defer st3.Close()
+	tbl3, _ := st3.DB.Table("kv")
+	sum, rows, err := tbl3.Sum(st3.DB.Now(), "v")
+	if err != nil || rows != 10 || sum != 550 {
+		t.Fatalf("recovered sum=%d rows=%d err=%v, want 550/10 (doubled effects = mixed-generation replay)", sum, rows, err)
+	}
+}
+
+// TestMissingImageRefusesPartialRecovery: when the gen file names a
+// generation whose image is gone, the WAL tail alone cannot rebuild the
+// store (it only holds records above the image's watermark) — OpenStore
+// must refuse loudly instead of silently serving a near-empty database.
+func TestMissingImageRefusesPartialRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := storeConfig(dir)
+	st, err := OpenStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.DB.Close()
+	if err := os.Remove(st.CkptFile); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(cfg); err == nil || !strings.Contains(err.Error(), "no complete image") {
+		t.Fatalf("OpenStore with missing image: err=%v, want refusal", err)
+	}
+}
+
 // TestDDLOverHTTPSurvivesCrash: tables created through the API are only
 // durable through the post-DDL checkpoint — prove a crash (not a drain)
 // still finds them.
@@ -448,6 +557,105 @@ func TestDrainRefusesNewWork(t *testing.T) {
 			t.Fatalf("%s %s while draining: %d, want 503", probe.method, probe.path, rec.Code)
 		}
 	}
+	db.Close()
+}
+
+// TestShutdownDrainTimeoutForcesClose: a client that never finishes its
+// request outlasts the drain context; Shutdown must force the connection
+// closed, confirm the request gates are idle, and still finish the full
+// teardown (final checkpoint, DB close) instead of racing or hanging.
+func TestShutdownDrainTimeoutForcesClose(t *testing.T) {
+	db := lstore.Open()
+	sink := &lstore.CheckpointBuffer{}
+	srv := New(db, Config{Checkpoint: sink})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+
+	// A slow client: the request never completes, so the connection stays
+	// active and the graceful drain cannot finish.
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("POST /v1/txn HTTP/1.1\r\nHost: x\r\nContent-Length: 1000\r\n\r\n{")); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	err = srv.Shutdown(ctx)
+	if err == nil || !strings.Contains(err.Error(), "http drain") {
+		t.Fatalf("Shutdown with a stuck client: err=%v, want http drain failure", err)
+	}
+	if <-serveDone != http.ErrServerClosed {
+		t.Fatal("Serve did not return after forced close")
+	}
+	// The gates were idle (the stuck request was never admitted), so the
+	// teardown must have completed: final checkpoint written, DB closed.
+	if sink.Taken() != 1 {
+		t.Fatalf("final checkpoint not written after forced close (taken=%d)", sink.Taken())
+	}
+	if _, err := db.CreateTable("late", lstore.NewSchema("id",
+		lstore.Column{Name: "id", Type: lstore.Int64})); err == nil {
+		t.Fatal("DB still open after forced-close shutdown completed")
+	}
+}
+
+// TestShutdownStuckHandlerLeavesDBOpen: if requests are still executing
+// after the forced close (simulated by a held gate slot — a handler stuck
+// inside the engine), Shutdown must NOT close the DB under them: it
+// reports the failure and leaves the store usable.
+func TestShutdownStuckHandlerLeavesDBOpen(t *testing.T) {
+	db := lstore.Open()
+	tbl, err := db.CreateTable("kv", lstore.NewSchema("id",
+		lstore.Column{Name: "id", Type: lstore.Int64}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &lstore.CheckpointBuffer{}
+	srv := New(db, Config{Checkpoint: sink})
+	srv.forcedGrace = 50 * time.Millisecond
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l) //nolint:errcheck // shut down below
+
+	conn, err := net.Dial("tcp", l.Addr().String()) // keeps the drain from finishing
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("POST /v1/txn HTTP/1.1\r\nHost: x\r\nContent-Length: 1000\r\n\r\n{")); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.txnGate.tryAcquire() { // the "stuck handler"
+		t.Fatal("fresh gate refused a slot")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	err = srv.Shutdown(ctx)
+	if err == nil || !strings.Contains(err.Error(), "still executing") {
+		t.Fatalf("Shutdown with stuck handler: err=%v, want still-executing failure", err)
+	}
+	if sink.Taken() != 0 {
+		t.Fatal("final checkpoint written while requests were still executing")
+	}
+	// The DB must still be live: the stuck handler's transaction can finish.
+	tx := db.Begin(lstore.ReadCommitted)
+	if err := tbl.Insert(tx, lstore.Row{"id": lstore.Int(1)}); err != nil {
+		t.Fatalf("DB closed under a still-executing handler: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	srv.txnGate.release()
 	db.Close()
 }
 

@@ -9,22 +9,33 @@
 // explicit so a (checkpoint, tail) pair is only ever consumed when both
 // sides are from the same generation:
 //
-//   - WAL files are named <wal>.<generation>; a generation file <wal>.gen
-//     (atomically replaced) names the generation the on-disk recovery pair
-//     (checkpoint image + that generation's WAL) belongs to.
+//   - BOTH halves of a pair are named by generation: WAL files live at
+//     <wal>.<generation>, checkpoint images at <ckpt>.<generation>, and a
+//     generation file <wal>.gen (atomically replaced) names the generation
+//     whose pair is authoritative. Tagging the image too is what makes the
+//     protocol crash-safe: a single shared image path would be overwritten
+//     by the startup checkpoint BEFORE the gen write commits the new pair,
+//     so a crash in that window leaves the old generation's WAL tail paired
+//     with a new-generation image whose watermark belongs to a different
+//     LSN sequence — transactions already inside the image replay again.
 //
-//   - Startup reads gen G, deletes WAL files of any other generation
-//     (leftovers of crashed recoveries — G is authoritative until the new
-//     pair is complete), recovers from checkpoint+wal.G into a FRESH
-//     wal.G+1, checkpoints (image now belongs to G+1, wal.G+1 truncated
-//     beneath it), and only then commits the new generation by writing
-//     G+1 to the gen file. A crash anywhere before that write replays the
-//     exact same recovery from the untouched G pair; a crash after it
-//     restarts from the complete G+1 pair.
+//   - Startup reads gen G, deletes WAL files and checkpoint images of any
+//     other generation (leftovers of crashed recoveries — G is
+//     authoritative until the new pair is complete), recovers from
+//     ckpt.G+wal.G into a FRESH wal.G+1, checkpoints into a FRESH
+//     ckpt.G+1 (wal.G+1 truncated beneath its watermark), and only then
+//     commits the new generation by writing G+1 to the gen file. A crash
+//     anywhere before that write leaves the G pair untouched on disk —
+//     the next startup removes the partial G+1 files and replays the
+//     exact same recovery; a crash after it restarts from the complete
+//     G+1 pair. The G pair's files are deleted only after the commit.
 //
-//   - While serving, the background checkpointer keeps replacing the image
-//     with G+1-watermarked ones and truncating wal.G+1 — in-generation,
-//     always a valid pair.
+//   - While serving, the background checkpointer keeps replacing ckpt.G+1
+//     with newer G+1-watermarked images and truncating wal.G+1 —
+//     in-generation, always a valid pair. The checkpointer is started only
+//     AFTER the generation commit (lstore.StartCheckpointer, not
+//     WithCheckpointEvery at Open): a tick during recovery would overwrite
+//     the image mid-rebuild with the same mixed-generation hazard.
 package server
 
 import (
@@ -55,7 +66,8 @@ type StoreConfig struct {
 	// WALPath is the base path; generation files live at WALPath.<gen> and
 	// the generation marker at WALPath.gen.
 	WALPath string
-	// CheckpointPath holds the single atomically-replaced image.
+	// CheckpointPath is the base path; generation images live at
+	// CheckpointPath.<gen>, each atomically replaced in-generation.
 	CheckpointPath string
 	// CheckpointEvery runs the background checkpointer (0 = only explicit
 	// checkpoints: after DDL and at drain).
@@ -70,10 +82,11 @@ type StoreConfig struct {
 // serving layer needs for DDL/drain checkpoints.
 type Store struct {
 	DB         *lstore.DB
-	Checkpoint *lstore.FileCheckpointSink
-	Generation uint64              // the committed recovery generation
-	WALFile    string              // active log: WALPath.<Generation>
-	Recovered  lstore.RecoverStats // what startup recovery replayed
+	Checkpoint *lstore.FileCheckpointSink // this generation's image sink
+	Generation uint64                     // the committed recovery generation
+	WALFile    string                     // active log: WALPath.<Generation>
+	CkptFile   string                     // active image: CheckpointPath.<Generation>
+	Recovered  lstore.RecoverStats        // what startup recovery replayed
 }
 
 // OpenStore opens (creating if absent) the store rooted at cfg.WALPath /
@@ -89,48 +102,63 @@ func OpenStore(cfg StoreConfig) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := removeStaleWALs(cfg.WALPath, gen); err != nil {
+	if err := removeStaleGenFiles(cfg.WALPath, gen); err != nil {
 		return nil, err
+	}
+	if err := removeStaleGenFiles(cfg.CheckpointPath, gen); err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(cfg.CheckpointPath); err == nil {
+		// A bare, generation-less image cannot be paired with any log;
+		// loading it could silently drop or double-replay a tail.
+		return nil, fmt.Errorf("server: unpaired checkpoint image at %s (images live at %s.<generation>) — refusing to guess",
+			cfg.CheckpointPath, cfg.CheckpointPath)
 	}
 
 	// Recovery sources: generation gen's pair. A missing WAL file is fine
-	// (a drain checkpoint may have truncated it to nothing).
+	// (a drain checkpoint may have truncated it to nothing); a missing or
+	// torn image is not — wal.gen holds only the tail above the image's
+	// watermark, so without the image the pair cannot rebuild the store.
 	var tail []byte
+	var ckptReader io.Reader
+	var prevSink *lstore.FileCheckpointSink
+	haveCkpt := false
 	if gen > 0 {
 		b, err := os.ReadFile(walGenPath(cfg.WALPath, gen))
 		if err != nil && !os.IsNotExist(err) {
 			return nil, fmt.Errorf("server: read WAL generation %d: %w", gen, err)
 		}
 		tail = b
-	}
-	ckptSink, err := lstore.NewFileCheckpointSink(cfg.CheckpointPath)
-	if err != nil {
-		return nil, err
-	}
-	ckptReader, _, haveCkpt := ckptSink.Latest()
-	if haveCkpt && gen == 0 {
-		// A checkpoint with no generation marker cannot be paired with any
-		// log; loading it could silently drop a tail we can no longer find.
-		return nil, fmt.Errorf("server: checkpoint exists at %s but no generation file at %s — refusing to guess",
-			cfg.CheckpointPath, genPath(cfg.WALPath))
+		prevSink, err = lstore.NewFileCheckpointSink(ckptGenPath(cfg.CheckpointPath, gen))
+		if err != nil {
+			return nil, err
+		}
+		ckptReader, _, haveCkpt = prevSink.Latest()
+		if !haveCkpt {
+			return nil, fmt.Errorf("server: generation file names %d but no complete image at %s — refusing a partial recovery",
+				gen, ckptGenPath(cfg.CheckpointPath, gen))
+		}
 	}
 
 	newGen := gen + 1
+	ckptSink, err := lstore.NewFileCheckpointSink(ckptGenPath(cfg.CheckpointPath, newGen))
+	if err != nil {
+		return nil, err
+	}
 	walSink, err := lstore.OpenWALFile(walGenPath(cfg.WALPath, newGen))
 	if err != nil {
 		return nil, err
 	}
 	opts := []lstore.Option{lstore.WithWAL(walSink, nil)}
-	if cfg.CheckpointEvery > 0 {
-		opts = append(opts, lstore.WithCheckpointEvery(cfg.CheckpointEvery, ckptSink))
-	}
 	if cfg.NoGroupCommit {
 		opts = append(opts, lstore.WithoutGroupCommit())
 	}
 	db := lstore.Open(opts...)
 	fail := func(err error) (*Store, error) {
 		db.Close()
-		os.Remove(walGenPath(cfg.WALPath, newGen)) //nolint:errcheck // next startup removes it as stale
+		// Next startup would remove these as stale anyway; gen is untouched.
+		os.Remove(walGenPath(cfg.WALPath, newGen))         //nolint:errcheck // best-effort cleanup
+		os.Remove(ckptGenPath(cfg.CheckpointPath, newGen)) //nolint:errcheck // best-effort cleanup
 		return nil, err
 	}
 
@@ -138,7 +166,7 @@ func OpenStore(cfg StoreConfig) (*Store, error) {
 	// with the same ids (creation order). The image records the schema;
 	// table creation is not WAL-logged.
 	if haveCkpt {
-		schemaReader, _, ok := ckptSink.Latest()
+		schemaReader, _, ok := prevSink.Latest()
 		if !ok {
 			return fail(fmt.Errorf("server: checkpoint disappeared during open"))
 		}
@@ -152,7 +180,13 @@ func OpenStore(cfg StoreConfig) (*Store, error) {
 			}
 		}
 	}
-	st := &Store{DB: db, Checkpoint: ckptSink, Generation: newGen, WALFile: walGenPath(cfg.WALPath, newGen)}
+	st := &Store{
+		DB:         db,
+		Checkpoint: ckptSink,
+		Generation: newGen,
+		WALFile:    walGenPath(cfg.WALPath, newGen),
+		CkptFile:   ckptGenPath(cfg.CheckpointPath, newGen),
+	}
 	if haveCkpt || len(tail) > 0 {
 		var tailReader io.Reader
 		if len(tail) > 0 {
@@ -180,8 +214,12 @@ func OpenStore(cfg StoreConfig) (*Store, error) {
 		}
 	}
 
-	// Complete the new generation's pair (image with a newGen watermark;
-	// wal.newGen truncated beneath it), then commit the generation switch.
+	// Complete the new generation's pair (image at ckpt.newGen with a
+	// newGen watermark; wal.newGen truncated beneath it), then commit the
+	// generation switch. The gen write is the commit point: until it lands,
+	// the G pair is untouched on disk and a crash replays from it; after
+	// it, the complete newGen pair is authoritative and the G files are
+	// deleted (best-effort — a later startup removes them as stale).
 	if _, err := db.CheckpointTo(ckptSink); err != nil {
 		return fail(fmt.Errorf("server: startup checkpoint: %w", err))
 	}
@@ -189,7 +227,17 @@ func OpenStore(cfg StoreConfig) (*Store, error) {
 		return fail(err)
 	}
 	if gen > 0 {
-		os.Remove(walGenPath(cfg.WALPath, gen)) //nolint:errcheck // best-effort; next startup removes it as stale
+		os.Remove(walGenPath(cfg.WALPath, gen))         //nolint:errcheck // best-effort; next startup removes it as stale
+		os.Remove(ckptGenPath(cfg.CheckpointPath, gen)) //nolint:errcheck // best-effort; next startup removes it as stale
+	}
+	// Only now — with the newGen pair committed — may background
+	// checkpoints start replacing the image (always in-generation). Not
+	// fail() on error: the newGen pair is committed and must survive.
+	if cfg.CheckpointEvery > 0 {
+		if err := db.StartCheckpointer(cfg.CheckpointEvery, ckptSink); err != nil {
+			db.Close()
+			return nil, err
+		}
 	}
 	return st, nil
 }
@@ -205,6 +253,10 @@ func genPath(walPath string) string { return walPath + ".gen" }
 
 func walGenPath(walPath string, gen uint64) string {
 	return fmt.Sprintf("%s.%06d", walPath, gen)
+}
+
+func ckptGenPath(ckptPath string, gen uint64) string {
+	return fmt.Sprintf("%s.%06d", ckptPath, gen)
 }
 
 func readGeneration(walPath string) (uint64, error) {
@@ -257,25 +309,26 @@ func writeGeneration(walPath string, gen uint64) error {
 	return nil
 }
 
-// removeStaleWALs deletes WAL generation files other than gen: newer ones
-// are partial re-logs of recoveries that crashed before committing their
+// removeStaleGenFiles deletes generation-suffixed files (base.<NNNNNN> —
+// WAL logs or checkpoint images) of generations other than gen: newer ones
+// are partial halves of recoveries that crashed before committing their
 // generation, older ones are superseded.
-func removeStaleWALs(walPath string, gen uint64) error {
-	matches, err := filepath.Glob(walPath + ".*")
+func removeStaleGenFiles(base string, gen uint64) error {
+	matches, err := filepath.Glob(base + ".*")
 	if err != nil {
 		return err
 	}
 	for _, m := range matches {
-		suffix := strings.TrimPrefix(m, walPath+".")
+		suffix := strings.TrimPrefix(m, base+".")
 		g, perr := strconv.ParseUint(suffix, 10, 64)
 		if perr != nil {
-			continue // .gen, .tmp, checkpoint droppings — not a generation file
+			continue // .gen, .tmp droppings — not a generation file
 		}
 		if g == gen {
 			continue
 		}
 		if err := os.Remove(m); err != nil && !os.IsNotExist(err) {
-			return fmt.Errorf("server: remove stale WAL %s: %w", m, err)
+			return fmt.Errorf("server: remove stale %s: %w", m, err)
 		}
 	}
 	return nil

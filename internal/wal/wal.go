@@ -357,6 +357,35 @@ func (l *Logger) FlushedLSN() uint64 {
 	return l.flushed
 }
 
+// Gauges is one consistent reading of the logger's mu-guarded counters.
+// The single-acquisition snapshot matters for derived gauges: computing
+// LastLSN-FlushedLSN from two separate reads lets a flush land in between,
+// making FlushedLSN exceed the already-read LastLSN and the unsigned
+// subtraction underflow.
+type Gauges struct {
+	Appended     int
+	LastLSN      uint64
+	FlushedLSN   uint64
+	TruncatedLSN uint64
+	Syncs        int
+	Err          error
+}
+
+// Gauges snapshots every mu-guarded counter under one lock acquisition, so
+// derived values (flush lag) are computed from a consistent pair.
+func (l *Logger) Gauges() Gauges {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Gauges{
+		Appended:     l.appended,
+		LastLSN:      l.nextLSN - 1,
+		FlushedLSN:   l.flushed,
+		TruncatedLSN: l.truncated,
+		Syncs:        l.syncs,
+		Err:          l.err,
+	}
+}
+
 // LastLSN returns the highest LSN handed out by Append. LastLSN minus
 // FlushedLSN is the flush lag — records buffered but not yet durable, the
 // WAL-side backpressure gauge a serving layer sheds load on.
