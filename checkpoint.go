@@ -4,12 +4,14 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
 	"time"
 
+	"lstore/internal/core"
 	"lstore/internal/fault"
 	"lstore/internal/types"
 	"lstore/internal/wal"
@@ -36,17 +38,27 @@ var (
 // (wal.ErrTornFrame) — unlike the log, whose torn tail is meaningful.
 
 const (
-	ckptMagic   = "LSTORECKPT"
-	ckptVersion = 1
+	ckptMagic = "LSTORECKPT"
+	// ckptVersion 2 added framePageRange: cold sealed ranges ship their
+	// ENCODED base pages verbatim instead of expanded row tuples — images
+	// shrink by the pages' compression ratio and restore installs them
+	// without a decode/re-encode round-trip. Readers accept 1 and 2 (a v1
+	// image is a v2 image with no page frames).
+	ckptVersion    = 2
+	ckptVersionMin = 1
 
-	frameHeader   = 1 // magic, version, timestamp, LSN watermark, #tables
-	frameTable    = 2 // table id, name, schema, secondary cols, lineage
-	frameRowBatch = 3 // table id, row count, rows as TypedVal tuples
-	frameTableEnd = 4 // table id, total row count (sanity)
-	frameEnd      = 5 // total rows across tables (sanity)
+	frameHeader    = 1 // magic, version, timestamp, LSN watermark, #tables
+	frameTable     = 2 // table id, name, schema, secondary cols, lineage
+	frameRowBatch  = 3 // table id, row count, rows as TypedVal tuples
+	frameTableEnd  = 4 // table id, total row count (sanity)
+	frameEnd       = 5 // total rows across tables (sanity)
+	framePageRange = 6 // table id, cold range's encoded pages, verbatim
 
 	ckptRowsPerBatch = 512
 )
+
+// ckptVersionOK reports whether a reader of this binary understands v.
+func ckptVersionOK(v uint64) bool { return v >= ckptVersionMin && v <= ckptVersion }
 
 // ErrTornCheckpoint reports a truncated or corrupt checkpoint image:
 // restore fails loudly (fall back to full-log replay) rather than loading a
@@ -158,8 +170,34 @@ func (tb *Table) writeCheckpoint(w io.Writer, ts Timestamp, totalRows *int64) er
 		return err
 	}
 
+	// Cold sealed ranges (zero tail lineage) ship as page frames: their
+	// encoded base pages verbatim, at in-memory size. Their RID windows are
+	// then EXCLUDED from the row scan below, which serializes only the hot
+	// remainder (insert ranges, updated ranges, string-dictionary tables —
+	// ColdRangeImages returns nil for the latter).
+	count := int64(0)
+	imgs := tb.store.ColdRangeImages(ts)
+	for _, img := range imgs {
+		f := []byte{framePageRange}
+		f = binary.AppendUvarint(f, tb.id)
+		f = binary.AppendUvarint(f, uint64(img.FirstRID))
+		f = binary.AppendUvarint(f, uint64(img.N))
+		f = binary.AppendUvarint(f, uint64(img.Rows))
+		f = binary.AppendUvarint(f, uint64(len(img.Cols)))
+		for _, col := range img.Cols {
+			f = binary.AppendUvarint(f, uint64(len(col)))
+			f = append(f, col...)
+		}
+		f = binary.AppendUvarint(f, uint64(len(img.Starts)))
+		f = append(f, img.Starts...)
+		if err := wal.WriteFrame(w, f); err != nil {
+			return err
+		}
+		count += int64(img.Rows)
+	}
+
 	var batch []byte
-	n, count := 0, int64(0)
+	n := 0
 	var frameErr error
 	flush := func() error {
 		if n == 0 {
@@ -172,25 +210,40 @@ func (tb *Table) writeCheckpoint(w io.Writer, ts Timestamp, totalRows *int64) er
 		batch, n = batch[:0], 0
 		return wal.WriteFrame(w, f)
 	}
-	tvals := make([]wal.TypedVal, tb.schema.NumCols())
-	if err := tb.Scan(ts, nil, func(_ int64, row Row) bool {
-		for i, c := range tb.schema.Cols {
-			tvals[i] = toTyped(row[c.Name])
-		}
-		batch = wal.AppendTypedVals(batch, tvals)
-		n++
-		count++
-		if n >= ckptRowsPerBatch {
-			if frameErr = flush(); frameErr != nil {
-				return false
-			}
-		}
-		return true
-	}); err != nil {
-		return err
+	allCols := make([]int, tb.schema.NumCols())
+	for i := range allCols {
+		allCols[i] = i
 	}
-	if frameErr != nil {
+	tvals := make([]wal.TypedVal, tb.schema.NumCols())
+	scanWindow := func(loRID, hiRID types.RID) error {
+		if loRID >= hiRID {
+			return nil
+		}
+		tb.store.ScanRange(ts, allCols, loRID, hiRID, func(_ int64, vals []Value) bool {
+			for i, v := range vals {
+				tvals[i] = toTyped(v)
+			}
+			batch = wal.AppendTypedVals(batch, tvals)
+			n++
+			count++
+			if n >= ckptRowsPerBatch {
+				if frameErr = flush(); frameErr != nil {
+					return false
+				}
+			}
+			return true
+		})
 		return frameErr
+	}
+	var prev types.RID
+	for _, img := range imgs { // windows ascend with range order
+		if err := scanWindow(prev, img.FirstRID); err != nil {
+			return err
+		}
+		prev = img.FirstRID + types.RID(img.N)
+	}
+	if err := scanWindow(prev, ^types.RID(0)); err != nil {
+		return err
 	}
 	if err := flush(); err != nil {
 		return err
@@ -216,7 +269,7 @@ func (db *DB) restoreCheckpoint(r io.Reader, stats *RecoverStats) error {
 	if hp.byte() != frameHeader || string(hp.bytes(len(ckptMagic))) != ckptMagic {
 		return fmt.Errorf("lstore: not a checkpoint image")
 	}
-	if v := hp.uvarint(); v != ckptVersion {
+	if v := hp.uvarint(); !ckptVersionOK(v) {
 		return fmt.Errorf("lstore: checkpoint version %d unsupported", v)
 	}
 	hp.uvarint() // capture timestamp (informational; restore re-issues times)
@@ -296,6 +349,72 @@ func (db *DB) restoreCheckpoint(r io.Reader, stats *RecoverStats) error {
 					}
 				}
 			}
+		case framePageRange:
+			id := fp.uvarint()
+			firstRID := fp.uvarint()
+			nSlots := fp.uvarint()
+			declRows := fp.uvarint()
+			nCols := fp.uvarint()
+			if fp.err != nil {
+				return fmt.Errorf("lstore: checkpoint page frame: %w", fp.err)
+			}
+			if curTbl == nil || id != curTbl.id {
+				return fmt.Errorf("lstore: checkpoint page frame for table %d outside its section", id)
+			}
+			if nCols != uint64(curTbl.schema.NumCols()) {
+				return fmt.Errorf("lstore: checkpoint page frame has %d columns, schema has %d", nCols, curTbl.schema.NumCols())
+			}
+			img := core.RangeImage{
+				FirstRID: types.RID(firstRID),
+				N:        int(nSlots),
+				Rows:     int(declRows),
+				Cols:     make([][]byte, nCols),
+			}
+			for c := range img.Cols {
+				img.Cols[c] = fp.bytes(int(fp.uvarint()))
+			}
+			img.Starts = fp.bytes(int(fp.uvarint()))
+			if fp.err != nil || fp.off != len(fp.p) {
+				return fmt.Errorf("lstore: checkpoint page frame malformed: %w", wal.ErrTornFrame)
+			}
+			var rowFn func(key int64, vals []Value) error
+			if relog {
+				tvals := make([]wal.TypedVal, nCols)
+				rowFn = func(_ int64, vals []Value) error {
+					for i, v := range vals {
+						tvals[i] = toTyped(v)
+					}
+					_, err := db.logger.Append(wal.Record{
+						Kind: wal.KindInsert, TxnID: loadID, Table: curTbl.id, TVals: tvals,
+					})
+					return err
+				}
+			}
+			installed, err := curTbl.store.InstallRangeImage(img, rowFn)
+			if errors.Is(err, core.ErrImageShape) {
+				// The restoring store runs a different RangeSize (or layout):
+				// decode the image to rows and take the bulk-load path.
+				rows, rerr := curTbl.store.RangeImageRows(img)
+				if rerr != nil {
+					return fmt.Errorf("lstore: checkpoint page restore into %q: %w", curTbl.name, rerr)
+				}
+				installed, err = curTbl.store.BulkLoad(rows)
+				if err == nil && rowFn != nil {
+					for _, vals := range rows {
+						if err = rowFn(0, vals); err != nil {
+							break
+						}
+					}
+				}
+			}
+			if err != nil {
+				return fmt.Errorf("lstore: checkpoint page restore into %q: %w", curTbl.name, err)
+			}
+			if uint64(installed) != declRows {
+				return fmt.Errorf("lstore: checkpoint page frame restored %d rows, frame declares %d", installed, declRows)
+			}
+			stats.CheckpointRows += int64(installed)
+			curCount += int64(installed)
 		case frameTableEnd:
 			id := fp.uvarint()
 			want := fp.uvarint()

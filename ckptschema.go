@@ -39,7 +39,7 @@ func CheckpointSchema(r io.Reader) ([]CheckpointTableDecl, error) {
 	if hp.byte() != frameHeader || string(hp.bytes(len(ckptMagic))) != ckptMagic {
 		return nil, fmt.Errorf("lstore: not a checkpoint image")
 	}
-	if v := hp.uvarint(); v != ckptVersion {
+	if v := hp.uvarint(); !ckptVersionOK(v) {
 		return nil, fmt.Errorf("lstore: checkpoint version %d unsupported", v)
 	}
 	hp.uvarint() // timestamp
@@ -69,9 +69,9 @@ func CheckpointSchema(r io.Reader) ([]CheckpointTableDecl, error) {
 				return nil, fmt.Errorf("lstore: checkpoint holds more tables than its header declares")
 			}
 			decls = append(decls, d)
-		case frameRowBatch, frameTableEnd:
-			// Schema-only walk: row payloads are covered by the frame CRC,
-			// which ReadFrame already verified.
+		case frameRowBatch, frameTableEnd, framePageRange:
+			// Schema-only walk: row and page payloads are covered by the
+			// frame CRC, which ReadFrame already verified.
 		case frameEnd:
 			if uint64(len(decls)) != nTables {
 				return nil, fmt.Errorf("lstore: checkpoint holds %d tables, header declares %d", len(decls), nTables)

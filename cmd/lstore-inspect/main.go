@@ -141,6 +141,17 @@ func main() {
 	st = tbl.Stats()
 	fmt.Printf("scan engine: workers=%d fast-slots=%d slow-slots=%d\n",
 		st.ScanWorkers, st.ScanFastSlots, st.ScanSlowSlots)
+	fmt.Printf("encoded scan: words-decoded=%d words-skipped=%d\n",
+		st.ScanWordsDecoded, st.ScanWordsSkipped)
+
+	// Compression state of the sealed base pages: which encodings the
+	// per-column distribution analysis picked, and the footprint it bought.
+	cs := tbl.CompressionStats()
+	fmt.Printf("\n== sealed base-page compression ==\n")
+	fmt.Printf("sealed-ranges=%d pages: raw=%d packed=%d dict=%d rle=%d\n",
+		cs.SealedRanges, cs.PagesRaw, cs.PagesPacked, cs.PagesDict, cs.PagesRLE)
+	fmt.Printf("logical-words=%d physical-words=%d ratio=%.2fx\n",
+		cs.LogicalWords, cs.PhysicalWords, cs.Ratio())
 }
 
 // runVerify is the -verify mode: a read-only scan of a WAL or checkpoint

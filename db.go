@@ -242,6 +242,8 @@ func (db *DB) CreateTable(name string, schema Schema, opts ...TableOptions) (*Ta
 		MergeColumnsIndependently: o.MergeColumnsIndependently,
 		MergeWorkers:              o.MergeWorkers,
 		ScanWorkers:               o.ScanWorkers,
+		DisableCompression:        o.DisableCompression,
+		DisableEncodedScan:        o.DisableEncodedScan,
 	}
 	if o.RowLayout {
 		cfg.Layout = core.RowLayout

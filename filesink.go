@@ -186,7 +186,7 @@ func VerifyCheckpoint(r io.Reader) CheckpointVerifyReport {
 			if string(fp.bytes(len(ckptMagic))) != ckptMagic {
 				return structural("bad magic: not a checkpoint image")
 			}
-			if v := fp.uvarint(); v != ckptVersion {
+			if v := fp.uvarint(); !ckptVersionOK(v) {
 				return structural("checkpoint version %d unsupported", v)
 			}
 			rep.Info.Time = fp.uvarint()
@@ -245,6 +245,29 @@ func VerifyCheckpoint(r io.Reader) CheckpointVerifyReport {
 				if len(tvals) != curCols {
 					return structural("row arity %d, table declares %d columns", len(tvals), curCols)
 				}
+			}
+			curCount += int64(nRows)
+			rows += int64(nRows)
+		case framePageRange:
+			id := fp.uvarint()
+			fp.uvarint() // first RID
+			fp.uvarint() // slot count
+			nRows := fp.uvarint()
+			nCols := fp.uvarint()
+			if fp.err != nil {
+				return structural("truncated page frame")
+			}
+			if !inTable || id != curTable {
+				return structural("page frame for table %d outside its section", id)
+			}
+			if int(nCols) != curCols {
+				return structural("page frame has %d columns, table declares %d", nCols, curCols)
+			}
+			for c := uint64(0); c <= nCols; c++ { // nCols column pages + starts
+				fp.bytes(int(fp.uvarint()))
+			}
+			if fp.err != nil || fp.off != len(fp.p) {
+				return structural("page frame payload malformed")
 			}
 			curCount += int64(nRows)
 			rows += int64(nRows)

@@ -373,17 +373,20 @@ var Experiments = map[string]func(Options) error{
 	"fig10d":  func(o Options) error { return Fig10(o, workload.Medium) },
 	"table8":  Table8,
 	"table9":  Table9,
-	"query":   QueryExp,
-	"recover": RecoverExp,
-	"serve":   ServeExp,
+	"query":    QueryExp,
+	"recover":  RecoverExp,
+	"serve":    ServeExp,
+	"compress": CompressExp,
 }
 
 // ExperimentIDs lists the identifiers in paper order; "query" (the unified
 // query API's filtered-scan + aggregate sweep), "recover" (restart time,
-// full-log replay vs checkpoint+tail), and "serve" (HTTP service layer:
-// group commit and admission control at the wire) extend the paper's set.
+// full-log replay vs checkpoint+tail), "serve" (HTTP service layer: group
+// commit and admission control at the wire), and "compress" (sealed-page
+// encoding: encoded-space predicate evaluation vs decode-then-filter vs raw
+// pages, plus resident and checkpoint footprint) extend the paper's set.
 var ExperimentIDs = []string{
 	"fig7a", "fig7b", "fig7c", "fig8", "table7",
 	"fig9a", "fig9b", "fig10a", "fig10c", "table8", "table9",
-	"query", "recover", "serve",
+	"query", "recover", "serve", "compress",
 }

@@ -34,6 +34,10 @@ type Sample struct {
 	P99Micros      float64 `json:"p99_us,omitempty"`
 	SyncsPerCommit float64 `json:"syncs_per_commit,omitempty"`
 	ShedReqs       int64   `json:"shed_reqs,omitempty"`
+	// The "compress" experiment's storage metrics: bytes resident in sealed
+	// base pages and the size of a full checkpoint image.
+	BytesResident int64 `json:"bytes_resident,omitempty"`
+	ImageBytes    int64 `json:"image_bytes,omitempty"`
 }
 
 // Report aggregates the samples of one harness invocation plus the knobs

@@ -115,13 +115,38 @@ func UnpackBit(words []uint64, width, i int) uint64 {
 	return v & (1<<uint(width) - 1)
 }
 
-// UnpackBits expands the whole stream (n values).
-func UnpackBits(words []uint64, width, n int) []uint64 {
-	out := make([]uint64, n)
-	for i := 0; i < n; i++ {
-		out[i] = UnpackBit(words, width, i)
+// UnpackBitsInto appends n unpacked values to dst (append-style, like
+// PutUvarint) so hot paths can reuse pooled scratch instead of allocating per
+// page. The bit cursor advances monotonically — no per-value position
+// re-derivation.
+func UnpackBitsInto(dst []uint64, words []uint64, width, n int) []uint64 {
+	if width == 0 {
+		for i := 0; i < n; i++ {
+			dst = append(dst, 0)
+		}
+		return dst
 	}
-	return out
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = 1<<uint(width) - 1
+	}
+	bitPos := 0
+	for i := 0; i < n; i++ {
+		w, b := bitPos/64, bitPos%64
+		v := words[w] >> uint(b)
+		if b+width > 64 {
+			v |= words[w+1] << uint(64-b)
+		}
+		dst = append(dst, v&mask)
+		bitPos += width
+	}
+	return dst
+}
+
+// UnpackBits expands the whole stream (n values). Thin allocating wrapper
+// over UnpackBitsInto, kept for tests and cold callers.
+func UnpackBits(words []uint64, width, n int) []uint64 {
+	return UnpackBitsInto(make([]uint64, 0, n), words, width, n)
 }
 
 // Run is one RLE run.
@@ -143,19 +168,92 @@ func RLEncode(vals []uint64) []Run {
 	return runs
 }
 
-// RLDecode expands runs.
+// RLDecodeInto appends the expansion of runs to dst (append-style, like
+// PutUvarint): the scan path hands in pooled scratch and pays zero
+// allocations when capacity suffices.
+func RLDecodeInto(dst []uint64, runs []Run) []uint64 {
+	for _, r := range runs {
+		for i := uint32(0); i < r.Count; i++ {
+			dst = append(dst, r.Value)
+		}
+	}
+	return dst
+}
+
+// RLDecode expands runs. Thin allocating wrapper over RLDecodeInto, kept for
+// tests and cold callers.
 func RLDecode(runs []Run) []uint64 {
 	total := 0
 	for _, r := range runs {
 		total += int(r.Count)
 	}
-	out := make([]uint64, 0, total)
-	for _, r := range runs {
-		for i := uint32(0); i < r.Count; i++ {
-			out = append(out, r.Value)
+	return RLDecodeInto(make([]uint64, 0, total), runs)
+}
+
+// Stats is a one-pass summary of a slot vector's value distribution — enough
+// to price every page encoding (raw, frame-of-reference packed, RLE,
+// dictionary) WITHOUT building any of them. The merge path analyzes each
+// consolidated column once and constructs only the winning encoding.
+type Stats struct {
+	N       int    // total slots
+	NonNull int    // slots != the null sentinel
+	Min     uint64 // over non-null slots (0 when NonNull == 0)
+	Max     uint64 // over non-null slots (0 when NonNull == 0)
+	Runs    int    // run-length runs (over ALL slots, nulls included)
+	// Distinct counts distinct slot values (nulls included); when the count
+	// exceeds distinctTrackCap the tracker gives up and DistinctOverflow is
+	// set — by then a dictionary cannot beat the other encodings anyway.
+	Distinct         int
+	DistinctOverflow bool
+}
+
+// distinctTrackCap bounds the distinct-value tracker in Analyze. A
+// dictionary page costs 1 + distinct + packed-code words; past this many
+// distinct values it never wins against raw/packed for the page sizes the
+// engine uses, so Analyze stops paying for the map.
+const distinctTrackCap = 1 << 12
+
+// Analyze computes the distribution stats of vals in one pass. null is the
+// caller's null sentinel (types.NullSlot for slot vectors); it is excluded
+// from Min/Max but participates in runs and distinct counts, matching how
+// the page encodings treat it.
+func Analyze(vals []uint64, null uint64) Stats {
+	st := Stats{N: len(vals)}
+	var prev uint64
+	var distinct map[uint64]struct{}
+	for i, v := range vals {
+		if i == 0 || v != prev {
+			st.Runs++
+		}
+		prev = v
+		if v != null {
+			if st.NonNull == 0 {
+				st.Min, st.Max = v, v
+			} else {
+				if v < st.Min {
+					st.Min = v
+				}
+				if v > st.Max {
+					st.Max = v
+				}
+			}
+			st.NonNull++
+		}
+		if !st.DistinctOverflow {
+			if distinct == nil {
+				distinct = make(map[uint64]struct{}, 64)
+			}
+			if _, ok := distinct[v]; !ok {
+				if len(distinct) >= distinctTrackCap {
+					st.DistinctOverflow = true
+				} else {
+					distinct[v] = struct{}{}
+				}
+			}
 		}
 	}
-	return out
+	st.Distinct = len(distinct)
+	return st
 }
 
 // Dict is an order-of-first-appearance dictionary for slot vectors. It is
@@ -182,6 +280,19 @@ func BuildDict(vals []uint64) (*Dict, []uint32) {
 	return d, codes
 }
 
+// DictFromValues rebuilds a dictionary from its value table (deserialization:
+// codes are positions, exactly as BuildDict assigned them). values is
+// retained, not copied.
+func DictFromValues(values []uint64) *Dict {
+	d := &Dict{codes: make(map[uint64]uint32, len(values)), values: values}
+	for i, v := range values {
+		if _, dup := d.codes[v]; !dup {
+			d.codes[v] = uint32(i)
+		}
+	}
+	return d
+}
+
 // Size returns the number of distinct values.
 func (d *Dict) Size() int { return len(d.values) }
 
@@ -193,3 +304,7 @@ func (d *Dict) Code(v uint64) (uint32, bool) {
 	c, ok := d.codes[v]
 	return c, ok
 }
+
+// Values exposes the code-ordered value table (serialization; callers must
+// not mutate it).
+func (d *Dict) Values() []uint64 { return d.values }

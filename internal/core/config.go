@@ -104,6 +104,18 @@ type Config struct {
 	// SecondaryIndexColumns lists data columns to maintain secondary
 	// indexes on (key column always has the primary index).
 	SecondaryIndexColumns []int
+
+	// DisableCompression publishes sealed/merged base pages raw instead of
+	// picking an encoding per column from its value distribution (§4.1
+	// step 3). Benchmark baseline knob; compression is otherwise invisible
+	// above this package.
+	DisableCompression bool
+
+	// DisableEncodedScan forces predicate-filtered scans over sealed ranges
+	// to fully decode every page before filtering, instead of evaluating
+	// predicate windows on the encoded representation and decoding only
+	// surviving 64-slot words. Benchmark baseline knob.
+	DisableEncodedScan bool
 }
 
 // applyDefaults fills zero fields with paper-faithful defaults.

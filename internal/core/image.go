@@ -1,0 +1,271 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"lstore/internal/page"
+	"lstore/internal/types"
+)
+
+// Range images: the checkpoint fast path for cold base data. A sealed range
+// that has never taken a tail record is exactly its encoded base pages plus
+// its Start Time page — so the checkpoint carries those pages VERBATIM
+// (page.MarshalEncoded) instead of expanding them into row tuples, and
+// restore installs them back without a decode/re-encode round-trip. Hot
+// ranges (any tail lineage) and string-dictionary tables keep the row path:
+// their state is not reproducible from base pages alone.
+
+// RangeImage is one cold range's serialized base pages.
+type RangeImage struct {
+	FirstRID types.RID // original first base RID (informational; restore re-assigns)
+	N        int       // slot count (the source store's RangeSize)
+	Rows     int       // visible rows (start != ∅) the image carries
+	MaxStart types.Timestamp
+	Cols     [][]byte // per schema column, page.MarshalEncoded
+	Starts   []byte   // Start Time meta page, page.MarshalEncoded
+}
+
+// ErrImageShape reports a RangeImage that cannot install into this store's
+// layout (different RangeSize); callers fall back to row-wise loading.
+var ErrImageShape = errors.New("core: range image shape mismatch")
+
+// coldRange reports whether r can be captured as a page image at snapshot
+// ts: sealed, zero tail lineage (no update/delete ever appended — base pages
+// ARE the range's whole state), and every Start Time slot either ∅ or a
+// plain committed timestamp at or before ts (a row sealed after the cut
+// would smuggle post-snapshot state into the image).
+func (s *Store) coldRange(r *updateRange, ts types.Timestamp) (mv *metaVersion, ok bool) {
+	if !r.sealed.Load() || r.appended.Load() != 0 || r.n != s.cfg.RangeSize {
+		return nil, false
+	}
+	mv = r.meta.Load()
+	if mv == nil {
+		return nil, false
+	}
+	st := mv.startTime
+	for i, n := 0, st.Len(); i < n; i++ {
+		raw := st.Get(i)
+		if raw == types.NullSlot {
+			continue
+		}
+		if types.IsTxnID(raw) || raw > ts {
+			return nil, false
+		}
+	}
+	return mv, true
+}
+
+// ColdRangeImages captures every cold range as of ts. Row-layout stores and
+// tables with string columns return nil (their pages alias store-level state
+// the image cannot carry); those tables checkpoint row-wise as before.
+func (s *Store) ColdRangeImages(ts types.Timestamp) []RangeImage {
+	if s.cfg.Layout == RowLayout {
+		return nil
+	}
+	for _, d := range s.dicts {
+		if d != nil {
+			return nil // string slots are codes into the store's dictionary
+		}
+	}
+	g := s.em.Pin()
+	defer g.Unpin()
+	var out []RangeImage
+	for i := 0; i < s.rangeCount(); i++ {
+		r := s.rangeAt(i)
+		mv, ok := s.coldRange(r, ts)
+		if !ok {
+			continue
+		}
+		img := RangeImage{
+			FirstRID: r.firstRID,
+			N:        r.n,
+			Cols:     make([][]byte, s.schema.NumCols()),
+			Starts:   page.MarshalEncoded(mv.startTime),
+		}
+		st := mv.startTime
+		for slot, n := 0, st.Len(); slot < n; slot++ {
+			if raw := st.Get(slot); raw != types.NullSlot {
+				img.Rows++
+				if raw > img.MaxStart {
+					img.MaxStart = raw
+				}
+			}
+		}
+		complete := true
+		for c := range img.Cols {
+			cv := r.colVer(c)
+			if cv == nil {
+				complete = false
+				break
+			}
+			img.Cols[c] = page.MarshalEncoded(cv.data)
+		}
+		if complete {
+			out = append(out, img)
+		}
+	}
+	return out
+}
+
+// InstallRangeImage transforms the store's CURRENT (completely unused)
+// insert range into a sealed range holding the image's pages, then opens a
+// fresh insert range. Records keep their original commit timestamps — the
+// caller must afterwards be able to rely on the clock having passed them,
+// which InstallRangeImage guarantees via txn.Manager.AdvanceTo. row is
+// called once per visible row with its new base RID's key and decoded
+// values (the restore path re-logs them into the WAL); a nil row skips the
+// callback. Returns the number of visible rows installed.
+//
+// Only restore-time callers may use this: the unused-insert-range
+// precondition makes it safe, and a concurrent writer would violate it.
+func (s *Store) InstallRangeImage(img RangeImage, row func(key int64, vals []types.Value) error) (int, error) {
+	if img.N != s.cfg.RangeSize || s.cfg.Layout == RowLayout {
+		return 0, ErrImageShape
+	}
+	ncols := s.schema.NumCols()
+	if len(img.Cols) != ncols {
+		return 0, fmt.Errorf("core: range image has %d columns, schema has %d", len(img.Cols), ncols)
+	}
+	for _, d := range s.dicts {
+		if d != nil {
+			return 0, ErrImageShape
+		}
+	}
+	pages := make([]page.Reader, ncols)
+	for c := range pages {
+		p, err := page.UnmarshalEncoded(img.Cols[c])
+		if err != nil {
+			return 0, fmt.Errorf("core: range image column %d: %w", c, err)
+		}
+		if p.Len() != img.N {
+			return 0, fmt.Errorf("core: range image column %d has %d slots, want %d", c, p.Len(), img.N)
+		}
+		pages[c] = p
+	}
+	starts, err := page.UnmarshalEncoded(img.Starts)
+	if err != nil {
+		return 0, fmt.Errorf("core: range image start page: %w", err)
+	}
+	if starts.Len() != img.N {
+		return 0, fmt.Errorf("core: range image start page has %d slots, want %d", starts.Len(), img.N)
+	}
+
+	s.insertMu.Lock()
+	defer s.insertMu.Unlock()
+	r := s.curInsert.Load()
+	ib := r.insertBlock.Load()
+	if ib == nil || ib.rids.Used() != 0 || ib.pending.Load() != 0 {
+		return 0, fmt.Errorf("core: install target insert range already in use")
+	}
+
+	// Index every visible row under its NEW base RID, validating as we go.
+	installed := 0
+	var maxStart types.Timestamp
+	keyPage := pages[s.schema.Key]
+	for slot := 0; slot < img.N; slot++ {
+		raw := starts.Get(slot)
+		if raw == types.NullSlot {
+			continue
+		}
+		if types.IsTxnID(raw) {
+			return installed, fmt.Errorf("core: range image start slot %d is an unresolved transaction id", slot)
+		}
+		baseRID := r.firstRID + types.RID(slot)
+		ksv := keyPage.Get(slot)
+		if ksv == types.NullSlot {
+			return installed, fmt.Errorf("core: range image slot %d has a null primary key", slot)
+		}
+		if _, ok := s.primary.PutIfAbsent(ksv, baseRID); !ok {
+			return installed, fmt.Errorf("%w: range image key %d", ErrDuplicateKey, types.DecodeInt64(ksv))
+		}
+		for c, sec := range s.secondary {
+			if sv := pages[c].Get(slot); sv != types.NullSlot {
+				sec.Add(sv, baseRID)
+			}
+		}
+		if raw > maxStart {
+			maxStart = raw
+		}
+		installed++
+	}
+
+	// Publish: column versions, then meta, then sealed — the order a normal
+	// seal uses. TPS 0 on everything: zero tail lineage by construction.
+	for c := range pages {
+		r.cols[c].Store(&colVersion{tps: 0, data: pages[c]})
+	}
+	r.meta.Store(&metaVersion{
+		tps:         0,
+		startTime:   starts,
+		lastUpdated: page.NewConst(types.NullSlot, img.N),
+		schemaEnc:   page.NewConst(0, img.N),
+	})
+	r.sealed.Store(true)
+	r.insertBlock.Store(nil)
+	s.stats.Seals.Add(1)
+	s.stats.Inserts.Add(uint64(installed))
+	// New transactions must commit after every installed record's time.
+	s.tm.AdvanceTo(maxStart)
+
+	if _, err := s.addInsertRange(); err != nil {
+		return installed, err
+	}
+
+	if row != nil {
+		vals := make([]types.Value, ncols)
+		for slot := 0; slot < img.N; slot++ {
+			if starts.Get(slot) == types.NullSlot {
+				continue
+			}
+			for c := range vals {
+				vals[c] = s.decodeValue(c, pages[c].Get(slot))
+			}
+			if err := row(types.DecodeInt64(keyPage.Get(slot)), vals); err != nil {
+				return installed, err
+			}
+		}
+	}
+	return installed, nil
+}
+
+// RangeImageRows decodes an image's visible rows to value tuples — the
+// restore fallback when the image cannot install directly (ErrImageShape:
+// the restoring store runs a different RangeSize). Rows then BulkLoad like
+// any checkpointed row batch.
+func (s *Store) RangeImageRows(img RangeImage) ([][]types.Value, error) {
+	ncols := s.schema.NumCols()
+	if len(img.Cols) != ncols {
+		return nil, fmt.Errorf("core: range image has %d columns, schema has %d", len(img.Cols), ncols)
+	}
+	pages := make([]page.Reader, ncols)
+	for c := range pages {
+		p, err := page.UnmarshalEncoded(img.Cols[c])
+		if err != nil {
+			return nil, fmt.Errorf("core: range image column %d: %w", c, err)
+		}
+		if p.Len() != img.N {
+			return nil, fmt.Errorf("core: range image column %d has %d slots, want %d", c, p.Len(), img.N)
+		}
+		pages[c] = p
+	}
+	starts, err := page.UnmarshalEncoded(img.Starts)
+	if err != nil {
+		return nil, fmt.Errorf("core: range image start page: %w", err)
+	}
+	if starts.Len() != img.N {
+		return nil, fmt.Errorf("core: range image start page has %d slots, want %d", starts.Len(), img.N)
+	}
+	var rows [][]types.Value
+	for slot := 0; slot < img.N; slot++ {
+		if starts.Get(slot) == types.NullSlot {
+			continue
+		}
+		vals := make([]types.Value, ncols)
+		for c := range vals {
+			vals[c] = s.decodeValue(c, pages[c].Get(slot))
+		}
+		rows = append(rows, vals)
+	}
+	return rows, nil
+}

@@ -142,9 +142,11 @@ func (s *Store) sealLocked(r *updateRange, ib *tailBlock) bool {
 	}
 	used := ib.rids.Used()
 	n := r.n
+	a := getMergeArena()
+	defer putMergeArena(a)
 	// Every published record must be resolved; pending writers or
 	// unresolved transactions defer the seal.
-	starts := make([]uint64, n)
+	starts := a.u64(&a.starts, n)
 	for i := 0; i < used; i++ {
 		raw := ib.startTime.Load(i)
 		if raw == types.NullSlot {
@@ -187,8 +189,8 @@ func (s *Store) sealLocked(r *updateRange, ib *tailBlock) bool {
 			r.cols[c].Store(&colVersion{tps: 0, data: rowView{data: slab, ncols: ncols, col: c, n: n}})
 		}
 	} else {
+		vals := a.u64(&a.vals, n) // one arena buffer, refilled per column
 		for c := 0; c < ncols; c++ {
-			vals := make([]uint64, n)
 			p := ib.dataPage(c, false)
 			for i := 0; i < n; i++ {
 				if p != nil && i < used && starts[i] != types.NullSlot {
@@ -197,20 +199,21 @@ func (s *Store) sealLocked(r *updateRange, ib *tailBlock) bool {
 					vals[i] = types.NullSlot
 				}
 			}
-			r.cols[c].Store(&colVersion{tps: 0, data: page.Encode(vals)})
+			r.cols[c].Store(&colVersion{tps: 0, data: s.encodePage(vals)})
 		}
 	}
 
-	nulls := make([]uint64, n)
-	zeros := make([]uint64, n)
+	nulls := a.u64(&a.meta1, n)
+	zeros := a.u64(&a.meta2, n)
 	for i := range nulls {
 		nulls[i] = types.NullSlot
+		zeros[i] = 0
 	}
 	r.meta.Store(&metaVersion{
 		tps:         0,
-		startTime:   page.Encode(starts),
-		lastUpdated: page.Encode(nulls),
-		schemaEnc:   page.Encode(zeros),
+		startTime:   s.encodePage(starts),
+		lastUpdated: s.encodePage(nulls),
+		schemaEnc:   s.encodePage(zeros),
 	})
 	r.sealed.Store(true)
 
@@ -250,14 +253,13 @@ type mergedTail struct {
 	slotIdx int
 }
 
-// collectPrefixLocked returns up to limit resolved tail records starting at
-// flat position from: records are included while their transactions are
-// committed or aborted; the first in-flight (or unpublished) record stops
+// collectPrefixLocked appends up to limit resolved tail records starting at
+// flat position from to out: records are included while their transactions
+// are committed or aborted; the first in-flight (or unpublished) record stops
 // the scan — "a set of consecutive fully committed tail records" (§4.1).
-func (s *Store) collectPrefixLocked(r *updateRange, from int64, limit int) []mergedTail {
+func (s *Store) collectPrefixLocked(r *updateRange, from int64, limit int, out []mergedTail) []mergedTail {
 	blocksPtr := r.tailBlocks.Load()
 	blocks := *blocksPtr
-	out := make([]mergedTail, 0, limit)
 	tbs := int64(s.cfg.TailBlockSize)
 	for pos := from; pos < from+int64(limit); pos++ {
 		bi := pos / tbs
@@ -313,7 +315,10 @@ func (s *Store) mergeRange(r *updateRange, col int) int {
 	} else {
 		from = r.lineage.minCursor()
 	}
-	prefix := s.collectPrefixLocked(r, from, 4*s.cfg.MergeBatch)
+	a := getMergeArena()
+	defer putMergeArena(a)
+	a.prefix = s.collectPrefixLocked(r, from, 4*s.cfg.MergeBatch, a.prefix[:0])
+	prefix := a.prefix
 	if len(prefix) == 0 {
 		return 0
 	}
@@ -329,8 +334,10 @@ func (s *Store) mergeRange(r *updateRange, col int) int {
 
 	// Steps 2–3: copy the outdated pages of target columns and apply the
 	// newest resolved value per (record, column), scanning in reverse.
+	// Column-layout decode buffers come from the arena; the row slab cannot
+	// (it is published inside the new rowView versions).
 	var rowSlab []uint64
-	work := make(map[int][]uint64) // col -> decompressed slots (column layout)
+	a.colScratch(ncols)
 	if s.cfg.Layout == RowLayout {
 		// Independent column merges can leave columns pointing at diverged
 		// slabs; a full merge must then rebuild from each column's OWN
@@ -365,12 +372,11 @@ func (s *Store) mergeRange(r *updateRange, col int) int {
 		}
 	}
 	colVals := func(c int) []uint64 {
-		v, ok := work[c]
-		if !ok {
-			v = page.Decode(r.colVer(c).data)
-			work[c] = v
+		if !a.workUsed[c] {
+			a.work[c] = decodeInto(a.work[c][:0], r.colVer(c).data)
+			a.workUsed[c] = true
 		}
-		return v
+		return a.work[c]
 	}
 	set := func(c, slot int, v uint64) {
 		if rowSlab != nil {
@@ -444,8 +450,8 @@ func (s *Store) mergeRange(r *updateRange, col int) int {
 		case rowSlab != nil:
 			r.cols[c].Store(&colVersion{tps: stamped, data: rowView{data: rowSlab, ncols: ncols, col: c, n: r.n}})
 		default:
-			if v, ok := work[c]; ok {
-				r.cols[c].Store(&colVersion{tps: stamped, data: page.Encode(v)})
+			if a.workUsed[c] {
+				r.cols[c].Store(&colVersion{tps: stamped, data: s.encodePage(a.work[c])})
 			} else {
 				if stamped == old.tps {
 					continue // already consolidated past this prefix
@@ -466,8 +472,9 @@ func (s *Store) mergeRange(r *updateRange, col int) int {
 	// Start Time column is preserved.
 	if col < 0 {
 		if mv := r.meta.Load(); mv != nil {
-			last := page.Decode(mv.lastUpdated)
-			encs := page.Decode(mv.schemaEnc)
+			last := decodeInto(a.meta1[:0], mv.lastUpdated)
+			encs := decodeInto(a.meta2[:0], mv.schemaEnc)
+			a.meta1, a.meta2 = last, encs
 			for slot, ts := range appliedTS {
 				if last[slot] == types.NullSlot || last[slot] < ts {
 					last[slot] = ts
@@ -482,8 +489,8 @@ func (s *Store) mergeRange(r *updateRange, col int) int {
 			r.meta.Store(&metaVersion{
 				tps:         r.lineage.advanceMeta(end, newTPS),
 				startTime:   mv.startTime,
-				lastUpdated: page.Encode(last),
-				schemaEnc:   page.Encode(encs),
+				lastUpdated: s.encodePage(last),
+				schemaEnc:   s.encodePage(encs),
 			})
 		}
 	}

@@ -179,6 +179,11 @@ type scanScratch struct {
 	out   []uint64      // readCols fallback output
 	vals  []uint64      // per-slot staging row handed to emit
 	rids  []types.RID   // secondary-index probe buffer
+
+	// cp holds one compiled predicate per pushed Pred for the encoded scan
+	// path: predicate windows translate into each page's code space once per
+	// range and filter bitmaps compute WITHOUT decoding (see scanRange).
+	cp []page.CompiledPred
 }
 
 var scanScratchPool = sync.Pool{New: func() any { return new(scanScratch) }}
@@ -258,6 +263,10 @@ type rangeScanner struct {
 	sc    *scanScratch
 	fast  int64
 	slow  int64
+	// Encoded-path word gauges: words whose column data was materialized vs
+	// words rejected straight from the encoded filter with zero decode.
+	wordsDec  int64
+	wordsSkip int64
 }
 
 func newRangeScanner(s *Store, ts types.Timestamp, cols []int, preds []Pred) rangeScanner {
@@ -287,6 +296,11 @@ func newRangeScanner(s *Store, ts types.Timestamp, cols []int, preds []Pred) ran
 		sc.vals = make([]uint64, n)
 	}
 	sc.vals = sc.vals[:n]
+	np := len(preds)
+	if cap(sc.cp) < np {
+		sc.cp = make([]page.CompiledPred, np)
+	}
+	sc.cp = sc.cp[:np]
 	return rs
 }
 
@@ -298,8 +312,17 @@ func (rs *rangeScanner) finish() {
 	if rs.slow != 0 {
 		rs.s.stats.ScanSlowSlots.Add(uint64(rs.slow))
 	}
+	if rs.wordsDec != 0 {
+		rs.s.stats.ScanWordsDecoded.Add(uint64(rs.wordsDec))
+	}
+	if rs.wordsSkip != 0 {
+		rs.s.stats.ScanWordsSkipped.Add(uint64(rs.wordsSkip))
+	}
 	for i := range rs.sc.cvs {
 		rs.sc.cvs[i] = nil // do not pin page versions across pool reuse
+	}
+	for i := range rs.sc.cp {
+		rs.sc.cp[i].Reset() // compiled preds hold page references too
 	}
 	scanScratchPool.Put(rs.sc)
 	rs.sc = nil
@@ -369,13 +392,6 @@ func (rs *rangeScanner) scanRange(r *updateRange, slot0, nRows int, emit func(sl
 		return rs.scanUnsealed(r, slot0, nRows, emit)
 	}
 
-	// Sealed range: bulk-decode the column pages and the Start/Last Updated
-	// meta pages once (sequential decompression, not per-slot point access).
-	for i := range rs.cols {
-		sc.data[i] = decodeInto(sc.data[i][:0], sc.cvs[i].data)
-	}
-	sc.start = decodeInto(sc.start[:0], mv.startTime)
-	sc.last = decodeInto(sc.last[:0], mv.lastUpdated)
 	// The merged fast path for updated slots relies on Last Updated Time
 	// covering every record any requested column's TPS claims (true unless
 	// an independent column merge ran ahead of the last full merge; never
@@ -385,6 +401,37 @@ func (rs *rangeScanner) scanRange(r *updateRange, slot0, nRows int, emit func(sl
 	ts := rs.ts
 	vals := sc.vals
 	filtered := len(rs.preds) > 0
+
+	// Sealed range, two decode strategies:
+	//
+	//   - Encoded scan (filtered): bind each predicate window to its column
+	//     page's OWN representation once (code space for FOR-packed and
+	//     dictionary pages, run granularity for RLE), compute each 64-slot
+	//     filter bitmap straight off the encoded data, and decode ONLY the
+	//     words something survives in. Selective scans leave most of the page
+	//     compressed.
+	//
+	//   - Bulk decode (unfiltered, or DisableEncodedScan): expand the column
+	//     pages and the Start/Last Updated meta pages once up front
+	//     (sequential decompression, not per-slot point access).
+	useEnc := filtered && !rs.s.cfg.DisableEncodedScan
+	if useEnc {
+		for pi := range rs.preds {
+			p := &rs.preds[pi]
+			sc.cp[pi].Bind(sc.cvs[p.Idx].data, p.Lo, p.Hi, p.Negate)
+		}
+		for i := range rs.cols {
+			sc.data[i] = growSlots(sc.data[i], nRows)
+		}
+		sc.start = growSlots(sc.start, nRows)
+		sc.last = growSlots(sc.last, nRows)
+	} else {
+		for i := range rs.cols {
+			sc.data[i] = decodeInto(sc.data[i][:0], sc.cvs[i].data)
+		}
+		sc.start = decodeInto(sc.start[:0], mv.startTime)
+		sc.last = decodeInto(sc.last[:0], mv.lastUpdated)
+	}
 
 	for wi := slot0 >> 6; wi<<6 < nRows; wi++ {
 		lo, hi := wi<<6, (wi+1)<<6
@@ -397,9 +444,36 @@ func (rs *rangeScanner) scanRange(r *updateRange, slot0, nRows int, emit func(sl
 		word := r.updatedBits[wi].Load()
 		fb := ^uint64(0)
 		if filtered {
-			fb = rs.filterWord(lo, hi)
+			if useEnc {
+				for pi := range sc.cp {
+					if fb &= sc.cp[pi].FilterWord(lo, hi); fb == 0 {
+						break
+					}
+				}
+			} else {
+				fb = rs.filterWord(lo, hi)
+			}
 			if fb == 0 && word == 0 {
+				if useEnc {
+					rs.wordsSkip++ // 64 slots rejected without decoding one
+				}
 				continue // 64 slots rejected with zero per-row work
+			}
+		}
+		if useEnc {
+			// Something in this word survives: materialize exactly what the
+			// paths below read. Start Time always (visibility); column words
+			// only when the filter lets a page-served slot through; Last
+			// Updated only when updated slots can take the merged fast path.
+			page.DecodeWordInto(sc.start[lo:], mv.startTime, lo, hi-lo)
+			if fb != 0 {
+				for i := range rs.cols {
+					page.DecodeWordInto(sc.data[i][lo:], sc.cvs[i].data, lo, hi-lo)
+				}
+				rs.wordsDec++
+			}
+			if word != 0 && luValid {
+				page.DecodeWordInto(sc.last[lo:], mv.lastUpdated, lo, hi-lo)
 			}
 		}
 		if word == 0 {
@@ -888,6 +962,15 @@ func (s *Store) LookupSecondary(ts types.Timestamp, col int, v types.Value) ([]i
 		return true
 	})
 	return keys, err
+}
+
+// growSlots resizes buf to n slots without decoding anything into it — the
+// encoded scan path sizes its scratch up front and fills only surviving words.
+func growSlots(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n)
+	}
+	return buf[:n]
 }
 
 // decodeInto appends the decoded slots of p to buf (bulk decompression for

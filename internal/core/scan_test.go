@@ -252,9 +252,14 @@ func scanOracleConfig(workers int) Config {
 
 // runScanOracle drives concurrent writers and mergers while the main
 // goroutine repeatedly compares every engine path against the readCols
-// oracle at a fixed snapshot.
-func runScanOracle(t *testing.T, workers, iters int) {
-	s := newTestStore(t, scanOracleConfig(workers))
+// oracle at a fixed snapshot. Optional config mutators select storage
+// variants (compression and encoded-scan knobs) for the same property.
+func runScanOracle(t *testing.T, workers, iters int, mut ...func(*Config)) {
+	cfg := scanOracleConfig(workers)
+	for _, m := range mut {
+		m(&cfg)
+	}
+	s := newTestStore(t, cfg)
 	const rows = 300 // 4 sealed ranges of 64 + a live insert range
 	mustCommit(t, s, func(tx *txn.Txn) {
 		for i := int64(0); i < rows; i++ {
@@ -459,6 +464,22 @@ func TestScanEngineMatchesReadColsOracle(t *testing.T) {
 // -race this doubles as the data-race test for parallel scans.
 func TestParallelScanMatchesReadColsOracle(t *testing.T) {
 	runScanOracle(t, 4, 120)
+}
+
+// TestScanOracleStorageVariants re-runs the oracle property across the
+// compression knob matrix: raw pages, compressed pages with the encoded
+// predicate path disabled (decode-then-filter), and each again under the
+// parallel pool. The default config (compressed + encoded scan) is covered
+// by the two tests above; together the four variants pin the "one scan
+// engine" invariant — every storage representation must produce identical
+// results through the identical engine surface.
+func TestScanOracleStorageVariants(t *testing.T) {
+	raw := func(c *Config) { c.DisableCompression = true }
+	noEnc := func(c *Config) { c.DisableEncodedScan = true }
+	t.Run("raw", func(t *testing.T) { runScanOracle(t, 1, 60, raw) })
+	t.Run("decode-then-filter", func(t *testing.T) { runScanOracle(t, 1, 60, noEnc) })
+	t.Run("raw-parallel", func(t *testing.T) { runScanOracle(t, 4, 60, raw) })
+	t.Run("decode-then-filter-parallel", func(t *testing.T) { runScanOracle(t, 4, 60, noEnc) })
 }
 
 // TestParallelScanRangeOrderAndEarlyStop: parallel ScanRange must deliver

@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"lstore/internal/page"
+)
 
 // Stats exposes engine counters for the benchmark harness and
 // cmd/lstore-inspect. All counters are monotone.
@@ -12,6 +16,8 @@ type Stats struct {
 	Scans             atomic.Uint64
 	ScanFastSlots     atomic.Uint64
 	ScanSlowSlots     atomic.Uint64
+	ScanWordsDecoded  atomic.Uint64
+	ScanWordsSkipped  atomic.Uint64
 	WWConflicts       atomic.Uint64
 	TailRecords       atomic.Uint64
 	Merges            atomic.Uint64
@@ -31,7 +37,10 @@ type Stats struct {
 // ScanFastSlots/ScanSlowSlots split scanned slots between the scan engine's
 // decoded-page fast path and the readCols chain-walk fallback (their ratio
 // is the scan-side health of the merge: a growing slow share means lineage
-// is outrunning consolidation). ScanWorkers is the configured scan pool.
+// is outrunning consolidation). ScanWordsDecoded/ScanWordsSkipped are the
+// encoded scan path's 64-slot word gauges: words whose column pages were
+// materialized vs words rejected straight from the encoded predicate filter
+// with zero decode. ScanWorkers is the configured scan pool.
 type StatsSnapshot struct {
 	Inserts           uint64
 	Updates           uint64
@@ -40,6 +49,8 @@ type StatsSnapshot struct {
 	Scans             uint64
 	ScanFastSlots     uint64
 	ScanSlowSlots     uint64
+	ScanWordsDecoded  uint64
+	ScanWordsSkipped  uint64
 	WWConflicts       uint64
 	TailRecords       uint64
 	Merges            uint64
@@ -66,6 +77,8 @@ func (s *Store) Stats() StatsSnapshot {
 		Scans:             s.stats.Scans.Load(),
 		ScanFastSlots:     s.stats.ScanFastSlots.Load(),
 		ScanSlowSlots:     s.stats.ScanSlowSlots.Load(),
+		ScanWordsDecoded:  s.stats.ScanWordsDecoded.Load(),
+		ScanWordsSkipped:  s.stats.ScanWordsSkipped.Load(),
 		WWConflicts:       s.stats.WWConflicts.Load(),
 		TailRecords:       s.stats.TailRecords.Load(),
 		Merges:            s.stats.Merges.Load(),
@@ -85,4 +98,69 @@ func (s *Store) Stats() StatsSnapshot {
 		snap.MergeBacklog += s.rangeAt(i).pendingTail()
 	}
 	return snap
+}
+
+// CompressionStats summarizes the encoded footprint of the table's sealed
+// base pages (data columns plus the Start/Last Updated/Schema meta columns).
+// LogicalWords is what the pages represent (one word per slot);
+// PhysicalWords is what they occupy — their ratio is the compression factor
+// cmd/lstore-inspect reports.
+type CompressionStats struct {
+	SealedRanges int
+	PagesRaw     int
+	PagesPacked  int
+	PagesDict    int
+	PagesRLE     int
+
+	LogicalWords  uint64
+	PhysicalWords uint64
+}
+
+// Ratio is the logical/physical compression factor (1 when nothing is sealed).
+func (cs CompressionStats) Ratio() float64 {
+	if cs.PhysicalWords == 0 {
+		return 1
+	}
+	return float64(cs.LogicalWords) / float64(cs.PhysicalWords)
+}
+
+// CompressionStats walks every sealed range's current page versions.
+func (s *Store) CompressionStats() CompressionStats {
+	var cs CompressionStats
+	g := s.em.Pin()
+	defer g.Unpin()
+	tally := func(p page.Reader) {
+		if p == nil {
+			return
+		}
+		switch p.Kind() {
+		case page.KindPacked:
+			cs.PagesPacked++
+		case page.KindDict:
+			cs.PagesDict++
+		case page.KindRLE:
+			cs.PagesRLE++
+		default:
+			cs.PagesRaw++
+		}
+		cs.LogicalWords += uint64(p.Len())
+		cs.PhysicalWords += uint64(p.MemWords())
+	}
+	for i := 0; i < s.rangeCount(); i++ {
+		r := s.rangeAt(i)
+		mv := r.meta.Load()
+		if mv == nil {
+			continue
+		}
+		cs.SealedRanges++
+		for c := range r.cols {
+			if cv := r.cols[c].Load(); cv != nil {
+				tally(cv.data)
+			}
+		}
+		tally(mv.startTime)
+		tally(mv.lastUpdated)
+		tally(mv.schemaEnc)
+	}
+	return cs
 }

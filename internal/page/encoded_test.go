@@ -1,0 +1,318 @@
+package page
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"lstore/internal/types"
+)
+
+// adversarial returns distributions chosen to hit codec edge cases: run
+// boundaries, full bit width, degenerate lengths, and null density.
+func adversarial() map[string][]uint64 {
+	rng := rand.New(rand.NewSource(11))
+	allEqual := make([]uint64, 257)
+	for i := range allEqual {
+		allEqual[i] = 1 << 40
+	}
+	alternating := make([]uint64, 257) // worst case for RLE: 257 runs
+	for i := range alternating {
+		alternating[i] = uint64(i % 2)
+	}
+	maxWidth := make([]uint64, 200) // full 64-bit spread: packed must refuse
+	for i := range maxWidth {
+		if v := rng.Uint64(); v != types.NullSlot {
+			maxWidth[i] = v
+		}
+	}
+	maxWidth[0], maxWidth[1] = 0, types.NullSlot-1
+	nullDense := make([]uint64, 300)
+	for i := range nullDense {
+		if i%3 != 0 {
+			nullDense[i] = types.NullSlot
+		} else {
+			nullDense[i] = uint64(i)
+		}
+	}
+	nearNull := make([]uint64, 130) // min so high that packed would alias ∅
+	for i := range nearNull {
+		nearNull[i] = types.NullSlot - 1 - uint64(i%7)
+	}
+	wordEdge := make([]uint64, 128) // run boundaries exactly at word 64
+	for i := range wordEdge {
+		wordEdge[i] = uint64(i / 64)
+	}
+	return map[string][]uint64{
+		"all-equal":   allEqual,
+		"alternating": alternating,
+		"max-width":   maxWidth,
+		"null-dense":  nullDense,
+		"near-null":   nearNull,
+		"word-edge":   wordEdge,
+		"single":      {42},
+		"single-null": {types.NullSlot},
+		"empty":       {},
+	}
+}
+
+// codecs builds every constructible encoding of vals (Encode's winner plus
+// each specific codec that accepts the distribution).
+func codecs(vals []uint64) map[string]Reader {
+	out := map[string]Reader{
+		"encode": Encode(vals),
+		"raw":    NewRaw(append([]uint64(nil), vals...)),
+	}
+	if p := NewPacked(vals); p != nil {
+		out["packed"] = p
+	}
+	if p := NewDict(vals); p != nil {
+		out["dict"] = p
+	}
+	if p := NewRLE(vals); p != nil {
+		out["rle"] = p
+	}
+	return out
+}
+
+func TestCodecRoundTripAdversarial(t *testing.T) {
+	for name, vals := range adversarial() {
+		for codec, p := range codecs(vals) {
+			if p.Len() != len(vals) {
+				t.Fatalf("%s/%s: Len = %d, want %d", name, codec, p.Len(), len(vals))
+			}
+			for i, want := range vals {
+				if got := p.Get(i); got != want {
+					t.Fatalf("%s/%s: Get(%d) = %d, want %d", name, codec, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeScratchCopiesRawFallback(t *testing.T) {
+	vals := adversarial()["max-width"]
+	p := EncodeScratch(vals)
+	if p.Kind() != KindRaw {
+		t.Fatalf("max-width encoded as %v, want raw fallback", p.Kind())
+	}
+	before := p.Get(0)
+	vals[0] = 12345 // caller reuses its scratch buffer
+	if p.Get(0) != before {
+		t.Fatal("EncodeScratch aliased the caller's buffer on raw fallback")
+	}
+}
+
+// TestFilterWordMatchesScalarOracle: for every codec and distribution, the
+// vectorized encoded-space filter must agree bit-for-bit with the scalar
+// predicate applied to decoded values — including Negate, null handling,
+// empty windows, and windows touching the distribution's extremes.
+func TestFilterWordMatchesScalarOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for name, vals := range adversarial() {
+		if len(vals) == 0 {
+			continue
+		}
+		for codec, p := range codecs(vals) {
+			for trial := 0; trial < 64; trial++ {
+				// Window bounds biased toward actual values so windows are
+				// sometimes selective rather than always empty or full.
+				pick := func() uint64 {
+					if rng.Intn(2) == 0 {
+						return vals[rng.Intn(len(vals))]
+					}
+					return rng.Uint64() >> 1 // bit 63 clear: never the null slot
+				}
+				lo, hi := pick(), pick()
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if trial%8 == 0 {
+					hi = lo // equality window: exercises the dict single-probe
+				}
+				negate := trial%3 == 0
+
+				var cp CompiledPred
+				cp.Bind(p, lo, hi, negate)
+				for base := 0; base < len(vals); base += 64 {
+					end := base + 64
+					if end > len(vals) {
+						end = len(vals)
+					}
+					got := cp.FilterWord(base, end)
+					var want uint64
+					for i := base; i < end; i++ {
+						if predMatch(vals[i], lo, hi, negate) {
+							want |= 1 << uint(i-base)
+						}
+					}
+					if got != want {
+						t.Fatalf("%s/%s window [%d,%d] negate=%v word %d: got %064b want %064b",
+							name, codec, lo, hi, negate, base/64, got, want)
+					}
+				}
+				cp.Reset()
+			}
+		}
+	}
+}
+
+// TestFilterWordRLENonMonotone: the RLE cursor optimizes for ascending word
+// order but must stay correct when words are re-filtered or visited out of
+// order (parallel scans hand ranges to workers independently).
+func TestFilterWordRLENonMonotone(t *testing.T) {
+	vals := make([]uint64, 512)
+	for i := range vals {
+		vals[i] = uint64(i / 37)
+	}
+	p := NewRLE(vals)
+	if p == nil {
+		t.Fatal("RLE refused runs")
+	}
+	var cp CompiledPred
+	cp.Bind(p, 3, 9, false)
+	order := []int{256, 0, 448, 64, 0, 384, 256}
+	for _, base := range order {
+		got := cp.FilterWord(base, base+64)
+		var want uint64
+		for i := base; i < base+64; i++ {
+			if v := vals[i]; v >= 3 && v <= 9 {
+				want |= 1 << uint(i-base)
+			}
+		}
+		if got != want {
+			t.Fatalf("word at %d after non-monotone seek: got %064b want %064b", base, got, want)
+		}
+	}
+}
+
+func TestDecodeWordIntoMatchesGet(t *testing.T) {
+	for name, vals := range adversarial() {
+		if len(vals) == 0 {
+			continue
+		}
+		for codec, p := range codecs(vals) {
+			dst := make([]uint64, 64)
+			for base := 0; base < len(vals); base += 64 {
+				n := len(vals) - base
+				if n > 64 {
+					n = 64
+				}
+				for i := range dst {
+					dst[i] = 0xdead
+				}
+				DecodeWordInto(dst, p, base, n)
+				for i := 0; i < n; i++ {
+					if dst[i] != vals[base+i] {
+						t.Fatalf("%s/%s: DecodeWordInto slot %d = %d, want %d",
+							name, codec, base+i, dst[i], vals[base+i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMarshalEncodedRoundTrip: the wire form preserves both values and the
+// chosen encoding (checkpoint images must not silently decay to raw).
+func TestMarshalEncodedRoundTrip(t *testing.T) {
+	for name, vals := range adversarial() {
+		for codec, p := range codecs(vals) {
+			b := MarshalEncoded(p)
+			q, err := UnmarshalEncoded(b)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, codec, err)
+			}
+			if q.Kind() != p.Kind() {
+				t.Fatalf("%s/%s: kind %v round-tripped as %v", name, codec, p.Kind(), q.Kind())
+			}
+			if q.Len() != p.Len() {
+				t.Fatalf("%s/%s: len %d round-tripped as %d", name, codec, p.Len(), q.Len())
+			}
+			if len(vals) > 0 && !reflect.DeepEqual(Decode(q), vals) {
+				t.Fatalf("%s/%s: values corrupted through wire form", name, codec)
+			}
+		}
+	}
+}
+
+// TestUnmarshalEncodedRejectsCorruption: every byte-level mutation class a
+// torn or bit-flipped checkpoint can produce must fail parsing loudly, not
+// construct a page that lies.
+func TestUnmarshalEncodedRejectsCorruption(t *testing.T) {
+	vals := []uint64{5, 5, 5, 9, 9, 100, types.NullSlot, 7}
+	for codec, p := range codecs(vals) {
+		b := MarshalEncoded(p)
+		if _, err := UnmarshalEncoded(b[:len(b)-1]); err == nil {
+			t.Errorf("%s: truncated frame accepted", codec)
+		}
+		if _, err := UnmarshalEncoded(append(append([]byte(nil), b...), 0)); err == nil {
+			t.Errorf("%s: trailing garbage accepted", codec)
+		}
+		if _, err := UnmarshalEncoded(b[:1]); err == nil {
+			t.Errorf("%s: header-only frame accepted", codec)
+		}
+	}
+	if _, err := UnmarshalEncoded(nil); err == nil {
+		t.Error("empty frame accepted")
+	}
+	if _, err := UnmarshalEncoded([]byte{99, 1}); err == nil {
+		t.Error("unknown kind byte accepted")
+	}
+
+	// Kind-specific forgeries.
+	reject := func(name string, b []byte) {
+		t.Helper()
+		if _, err := UnmarshalEncoded(b); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Packed page whose min+maxCode reaches NullSlot: decoded slots would
+	// alias ∅.
+	forged := MarshalEncoded(NewPacked([]uint64{types.NullSlot - 3, types.NullSlot - 1}))
+	if forged != nil {
+		for i := 0; i < 8; i++ {
+			forged[1+i] = 0xff // min = NullSlot - overflows with width 2
+		}
+		reject("packed frame aliasing NullSlot", forged)
+	}
+	// Dict page with a code out of dictionary range.
+	dp := NewDict([]uint64{10, 20, 30, 10})
+	if dp == nil {
+		t.Fatal("dict refused low cardinality")
+	}
+	db := MarshalEncoded(dp)
+	db[len(db)-1] |= 0x80 // corrupt packed code words: some code >= dictSize
+	if q, err := UnmarshalEncoded(db); err == nil {
+		// The flip may land on padding; only a parse that produced
+		// out-of-range values is a failure.
+		for i := 0; i < q.Len(); i++ {
+			if v := q.Get(i); v != 10 && v != 20 && v != 30 {
+				t.Errorf("dict frame with forged codes produced %d", v)
+			}
+		}
+	}
+	// RLE frame whose run counts disagree with its slot count.
+	rp := NewRLE([]uint64{4, 4, 4, 4, 8, 8})
+	rb := MarshalEncoded(rp)
+	rb[2]++ // bump slot count n; run totals now disagree
+	reject("RLE frame with inconsistent run totals", rb)
+}
+
+func TestUnmarshalEncodedAllocatesFreshArrays(t *testing.T) {
+	// Checkpoint restore parses pages out of a frame buffer that is reused;
+	// the constructed page must not alias it.
+	p := NewPacked([]uint64{100, 101, 102, 103})
+	b := MarshalEncoded(p)
+	q, err := UnmarshalEncoded(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Decode(q)
+	for i := range b {
+		b[i] = 0xff
+	}
+	if !reflect.DeepEqual(Decode(q), want) {
+		t.Fatal("unmarshaled page aliases the input buffer")
+	}
+}

@@ -272,22 +272,91 @@ func (p *DictPage) AppendTo(buf []uint64) []uint64 {
 // ---------------------------------------------------------------------------
 // Encoder
 
-// Encode picks the smallest representation for vals. The input slice is
-// copied only by the raw fallback's caller contract: callers must not mutate
-// vals after Encode.
-func Encode(vals []uint64) Reader {
-	best := Reader(NewRaw(vals))
-	if p := NewRLE(vals); p != nil && p.MemWords() < best.MemWords() {
-		best = p
+// Encode picks the smallest representation for vals from the value
+// distribution: one compress.Analyze pass prices every encoding (raw,
+// RLE, dictionary, frame-of-reference packed) and only the winner is built.
+// The raw fallback aliases vals — callers must not mutate vals after Encode
+// (EncodeScratch copies instead, for arena-backed callers).
+func Encode(vals []uint64) Reader { return encode(vals, false) }
+
+// EncodeScratch is Encode for callers that reuse vals afterwards (the merge
+// arena): the raw fallback copies the input instead of aliasing it. The
+// other encodings never retain vals.
+func EncodeScratch(vals []uint64) Reader { return encode(vals, true) }
+
+func encode(vals []uint64, copyRaw bool) Reader {
+	st := compress.Analyze(vals, types.NullSlot)
+	n := st.N
+
+	// Price each candidate in MemWords, mirroring the constructors exactly.
+	bestW := n // raw
+	best := KindRaw
+	if w := 2 * st.Runs; 2*st.Runs < n && w < bestW {
+		best, bestW = KindRLE, w
 	}
-	if p := NewDict(vals); p != nil && p.MemWords() < best.MemWords() {
-		best = p
+	if !st.DistinctOverflow && st.Distinct > 0 && st.Distinct < n {
+		dw := compress.BitWidth(uint64(st.Distinct - 1))
+		if dw == 0 {
+			dw = 1
+		}
+		if w := 1 + st.Distinct + (n*dw+63)/64; w < bestW {
+			best, bestW = KindDict, w
+		}
 	}
-	if p := NewPacked(vals); p != nil && p.MemWords() < best.MemWords() {
-		best = p
+	if pw := compress.BitWidth(st.Max - st.Min); pw < 64 {
+		w := 2 + (n*pw+63)/64
+		if st.NonNull < n {
+			w += (n + 63) / 64 // side null bitmap
+		}
+		if w < bestW {
+			best = KindPacked
+		}
 	}
-	return best
+
+	switch best {
+	case KindRLE:
+		if p := NewRLE(vals); p != nil {
+			return p
+		}
+	case KindDict:
+		if p := NewDict(vals); p != nil {
+			return p
+		}
+	case KindPacked:
+		if p := NewPacked(vals); p != nil {
+			return p
+		}
+	}
+	if copyRaw {
+		return NewRaw(append(make([]uint64, 0, n), vals...))
+	}
+	return NewRaw(vals)
 }
+
+// NewConst builds the page holding n copies of v — one RLE run. Restore uses
+// it for the merge-maintained meta pages of a freshly installed cold range
+// (Last Updated all-∅, Schema Encoding all-zero).
+func NewConst(v uint64, n int) Reader {
+	if n == 0 {
+		return NewRaw(nil)
+	}
+	runs := make([]compress.Run, 0, (n+runCountMax-1)/runCountMax)
+	for rem := n; rem > 0; rem -= runCountMax {
+		c := rem
+		if c > runCountMax {
+			c = runCountMax
+		}
+		runs = append(runs, compress.Run{Value: v, Count: uint32(c)})
+	}
+	starts := make([]uint32, len(runs))
+	for i := range runs {
+		starts[i] = uint32(i * runCountMax)
+	}
+	return &RLEPage{runs: runs, starts: starts, n: n}
+}
+
+// runCountMax is the largest per-run count (compress.Run counts are uint32).
+const runCountMax = int(^uint32(0))
 
 // Decode expands any Reader back into a slot vector.
 func Decode(p Reader) []uint64 {

@@ -1,0 +1,342 @@
+package page
+
+import (
+	"lstore/internal/compress"
+	"lstore/internal/types"
+)
+
+// This file is the encoded-space half of predicate pushdown: a scan
+// translates each predicate window into the page's OWN representation once
+// (code space for packed/dictionary pages, run granularity for RLE) and
+// computes 64-slot filter bitmaps without decoding the page. Words the
+// filter rejects are never decoded at all; DecodeWordInto materializes only
+// the survivors.
+//
+// Semantics contract: for every slot s, FilterWord sets bit s&63 exactly
+// when the engine's scalar predicate would match the page value —
+// in := v-Lo <= Hi-Lo; negated windows match !in && v != ∅. The compiled
+// forms below are algebraic rewrites of that single compare, so the filter
+// bitmap is bit-identical to evaluating the predicate over a full decode.
+
+// predMatch is the scalar predicate (mirrors core's Pred.Matches; duplicated
+// here because the scan engine depends on page, not the reverse).
+func predMatch(v, lo, hi uint64, negate bool) bool {
+	in := v-lo <= hi-lo
+	if negate {
+		return !in && v != types.NullSlot
+	}
+	return in
+}
+
+// spanMask sets bits lo&63 .. hi-1&63 for a [lo, hi) slot span within one
+// 64-slot word.
+func spanMask(lo, hi int) uint64 {
+	n := hi - lo
+	if n <= 0 {
+		return 0
+	}
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (1<<uint(n) - 1) << uint(lo&63)
+}
+
+// CompiledPred is one predicate window bound to one base page: Bind
+// translates the window into the page's encoded space, FilterWord evaluates
+// 64 slots against that translation. A CompiledPred belongs to ONE scanner
+// (the RLE form keeps a monotone run cursor); pages themselves stay
+// stateless and shared. The zero value is ready for Bind; Reset drops page
+// references (pool hygiene) while keeping reusable scratch.
+type CompiledPred struct {
+	lo, hi uint64
+	negate bool
+
+	kind uint8 // one of cpRaw/cpPacked/cpDict/cpRLE/cpGeneric
+
+	raw *RawPage
+
+	// Packed: the window moved into code space (c = v - min). cEmpty means no
+	// non-null value can fall inside the window; nullHit is the precomputed
+	// predicate result for ∅ slots.
+	pk         *PackedPage
+	cLo, cSpan uint64
+	cEmpty     bool
+	nullHit    bool
+
+	// Dict: one bit per dictionary code whose value matches (the dictionary
+	// is probed once at Bind; equality windows probe a single code).
+	dp       *DictPage
+	codeBits []uint64
+
+	// RLE: runs are tested whole-run-at-a-time; runIdx is the scanner's
+	// monotone cursor (FilterWord bases never decrease within one Bind).
+	rl     *RLEPage
+	runIdx int
+
+	gen Reader // fallback for foreign Reader implementations (row views)
+}
+
+const (
+	cpRaw uint8 = iota
+	cpPacked
+	cpDict
+	cpRLE
+	cpGeneric
+)
+
+// Bind compiles the window [lo, hi] (negate per core's Pred semantics)
+// against p, translating the bounds into p's encoded space once.
+func (cp *CompiledPred) Bind(p Reader, lo, hi uint64, negate bool) {
+	cp.Reset()
+	cp.lo, cp.hi, cp.negate = lo, hi, negate
+	switch t := p.(type) {
+	case *RawPage:
+		cp.kind, cp.raw = cpRaw, t
+	case *PackedPage:
+		cp.kind, cp.pk = cpPacked, t
+		cp.nullHit = predMatch(types.NullSlot, lo, hi, negate)
+		// Non-null values are min+c with c < 2^width: intersect [lo, hi] with
+		// the code range. An empty intersection decides whole words at once.
+		maxCode := uint64(1)<<uint(t.width) - 1
+		if t.width == 0 {
+			maxCode = 0
+		}
+		switch {
+		case hi < t.min || (lo > t.min && lo-t.min > maxCode):
+			cp.cEmpty = true
+		default:
+			cp.cLo = 0
+			if lo > t.min {
+				cp.cLo = lo - t.min
+			}
+			cHi := hi - t.min
+			if cHi > maxCode {
+				cHi = maxCode
+			}
+			cp.cSpan = cHi - cp.cLo
+		}
+	case *DictPage:
+		cp.kind, cp.dp = cpDict, t
+		nb := (t.dict.Size() + 63) / 64
+		if cap(cp.codeBits) < nb {
+			cp.codeBits = make([]uint64, nb)
+		}
+		cp.codeBits = cp.codeBits[:nb]
+		for i := range cp.codeBits {
+			cp.codeBits[i] = 0
+		}
+		if lo == hi && !negate {
+			// Equality: probe the dictionary once; a missing value rejects
+			// every slot without touching the code stream.
+			if c, ok := t.dict.Code(lo); ok {
+				cp.codeBits[c>>6] |= 1 << uint(c&63)
+			}
+		} else {
+			for c, n := 0, t.dict.Size(); c < n; c++ {
+				if predMatch(t.dict.Value(uint32(c)), lo, hi, negate) {
+					cp.codeBits[c>>6] |= 1 << uint(c&63)
+				}
+			}
+		}
+	case *RLEPage:
+		cp.kind, cp.rl = cpRLE, t
+	default:
+		cp.kind, cp.gen = cpGeneric, p
+	}
+}
+
+// Reset drops page references so pooled scanners do not pin retired page
+// versions; compiled scratch (the dict code bitmap) is kept for reuse.
+func (cp *CompiledPred) Reset() {
+	bits := cp.codeBits
+	*cp = CompiledPred{codeBits: bits[:0]}
+}
+
+// FilterWord evaluates slots [lo, hi) — all within one 64-slot word — and
+// returns the match bitmap (bit slot&63). Bases must not decrease between
+// calls on one Bind (the RLE cursor is monotone).
+func (cp *CompiledPred) FilterWord(lo, hi int) uint64 {
+	switch cp.kind {
+	case cpRaw:
+		return cp.filterRaw(lo, hi)
+	case cpPacked:
+		return cp.filterPacked(lo, hi)
+	case cpDict:
+		return cp.filterDict(lo, hi)
+	case cpRLE:
+		return cp.filterRLE(lo, hi)
+	default:
+		var m uint64
+		for s := lo; s < hi; s++ {
+			if predMatch(cp.gen.Get(s), cp.lo, cp.hi, cp.negate) {
+				m |= 1 << uint(s&63)
+			}
+		}
+		return m
+	}
+}
+
+func (cp *CompiledPred) filterRaw(lo, hi int) uint64 {
+	slots := cp.raw.slots
+	span := cp.hi - cp.lo
+	var m uint64
+	if cp.negate {
+		for s := lo; s < hi; s++ {
+			if v := slots[s]; v-cp.lo > span && v != types.NullSlot {
+				m |= 1 << uint(s&63)
+			}
+		}
+		return m
+	}
+	for s := lo; s < hi; s++ {
+		if slots[s]-cp.lo <= span {
+			m |= 1 << uint(s&63)
+		}
+	}
+	return m
+}
+
+// filterPacked compares bit-packed codes against the translated window —
+// no min re-add, no null branch, no scratch write per slot.
+func (cp *CompiledPred) filterPacked(lo, hi int) uint64 {
+	p := cp.pk
+	var nw uint64
+	if p.nulls != nil {
+		nw = p.nulls[lo>>6]
+	}
+	cover := spanMask(lo, hi)
+	if cp.cEmpty {
+		// No non-null value can match: the word is decided by nulls alone.
+		if cp.negate {
+			return cover &^ nw // every non-null is outside the window
+		}
+		if cp.nullHit {
+			return cover & nw
+		}
+		return 0
+	}
+	var m uint64
+	for s := lo; s < hi; s++ {
+		c := compress.UnpackBit(p.words, p.width, s)
+		if c-cp.cLo <= cp.cSpan {
+			m |= 1 << uint(s&63)
+		}
+	}
+	if cp.negate {
+		m = (cover &^ m) &^ nw
+	} else if nw != 0 {
+		m &^= nw
+		if cp.nullHit {
+			m |= cover & nw
+		}
+	}
+	return m
+}
+
+func (cp *CompiledPred) filterDict(lo, hi int) uint64 {
+	p := cp.dp
+	var m uint64
+	for s := lo; s < hi; s++ {
+		c := compress.UnpackBit(p.words, p.width, s)
+		if cp.codeBits[c>>6]&(1<<uint(c&63)) != 0 {
+			m |= 1 << uint(s&63)
+		}
+	}
+	return m
+}
+
+// filterRLE tests each run once and sets whole-run bit spans; the cursor
+// advances monotonically so a full-page scan costs O(runs + words).
+func (cp *CompiledPred) filterRLE(lo, hi int) uint64 {
+	p := cp.rl
+	ri := cp.runIdx
+	if ri >= len(p.starts) || int(p.starts[ri]) > lo {
+		ri = p.findRun(lo) // re-seek (first call or a forward Bind reuse)
+	}
+	for ri+1 < len(p.starts) && int(p.starts[ri+1]) <= lo {
+		ri++
+	}
+	var m uint64
+	s := lo
+	for s < hi {
+		runEnd := p.n
+		if ri+1 < len(p.starts) {
+			runEnd = int(p.starts[ri+1])
+		}
+		e := hi
+		if runEnd < e {
+			e = runEnd
+		}
+		if predMatch(p.runs[ri].Value, cp.lo, cp.hi, cp.negate) {
+			m |= spanMask(s, e)
+		}
+		s = e
+		if s < hi {
+			ri++
+		}
+	}
+	cp.runIdx = ri
+	return m
+}
+
+// findRun binary-searches the run containing slot i.
+func (p *RLEPage) findRun(i int) int {
+	lo, hi := 0, len(p.starts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if p.starts[mid] <= uint32(i) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// ---------------------------------------------------------------------------
+// Word-granular decode
+
+// DecodeWordInto decodes slots [base, base+n) of p into dst[0:n] — the
+// scan engine's surviving-word materializer. Each encoding decodes the span
+// natively (RLE fills whole runs, packed walks a monotone bit cursor);
+// words the predicate filter rejected are simply never passed here.
+func DecodeWordInto(dst []uint64, p Reader, base, n int) {
+	switch t := p.(type) {
+	case *RawPage:
+		copy(dst[:n], t.slots[base:base+n])
+	case *PackedPage:
+		var nw uint64
+		if t.nulls != nil {
+			nw = t.nulls[base>>6]
+		}
+		for i := 0; i < n; i++ {
+			s := base + i
+			if nw&(1<<uint(s&63)) != 0 {
+				dst[i] = types.NullSlot
+				continue
+			}
+			dst[i] = t.min + compress.UnpackBit(t.words, t.width, s)
+		}
+	case *DictPage:
+		for i := 0; i < n; i++ {
+			dst[i] = t.dict.Value(uint32(compress.UnpackBit(t.words, t.width, base+i)))
+		}
+	case *RLEPage:
+		ri := t.findRun(base)
+		for i := 0; i < n; {
+			runEnd := t.n
+			if ri+1 < len(t.starts) {
+				runEnd = int(t.starts[ri+1])
+			}
+			v := t.runs[ri].Value
+			for ; i < n && base+i < runEnd; i++ {
+				dst[i] = v
+			}
+			ri++
+		}
+	default:
+		for i := 0; i < n; i++ {
+			dst[i] = p.Get(base + i)
+		}
+	}
+}

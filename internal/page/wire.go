@@ -1,0 +1,276 @@
+package page
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lstore/internal/compress"
+	"lstore/internal/types"
+)
+
+// Encoded-form serialization: unlike Marshal (which flattens to raw slots),
+// MarshalEncoded writes the page's compressed representation verbatim, so a
+// checkpoint carries merged base pages at their in-memory size and restore
+// installs them without a decode/re-encode round-trip.
+//
+// Layout (little-endian, uvarint where noted):
+//
+//	byte    kind
+//	uvarint n (slot count)
+//	payload per kind:
+//	  raw:    n × 8-byte slots
+//	  packed: 8-byte min, uvarint width, byte hasNulls,
+//	          ceil(n*width/64) × 8-byte code words,
+//	          [ceil(n/64) × 8-byte null words when hasNulls]
+//	  dict:   uvarint dictSize, dictSize × 8-byte values,
+//	          uvarint width, ceil(n*width/64) × 8-byte code words
+//	  rle:    uvarint runCount, runCount × (8-byte value, uvarint count)
+//
+// UnmarshalEncoded validates structure exhaustively (exact lengths, width
+// bounds, code range, run-count accounting, no trailing bytes): a torn or
+// bit-flipped frame that somehow passes the outer CRC still fails loudly
+// instead of installing a malformed page.
+
+// maxEncodedSlots bounds n during deserialization (way above any real
+// RangeSize; rejects garbage lengths before any allocation).
+const maxEncodedSlots = 1 << 24
+
+// MarshalEncoded serializes p in its encoded form.
+func MarshalEncoded(p Reader) []byte {
+	switch t := p.(type) {
+	case *RawPage:
+		buf := make([]byte, 0, 2+9+8*len(t.slots))
+		buf = append(buf, byte(KindRaw))
+		buf = binary.AppendUvarint(buf, uint64(len(t.slots)))
+		return appendWords(buf, t.slots)
+	case *PackedPage:
+		buf := make([]byte, 0, 2+9+8+8*(len(t.words)+len(t.nulls)))
+		buf = append(buf, byte(KindPacked))
+		buf = binary.AppendUvarint(buf, uint64(t.n))
+		buf = binary.LittleEndian.AppendUint64(buf, t.min)
+		buf = binary.AppendUvarint(buf, uint64(t.width))
+		if t.nulls != nil {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = appendWords(buf, t.words)
+		return appendWords(buf, t.nulls)
+	case *DictPage:
+		vals := t.dict.Values()
+		buf := make([]byte, 0, 2+9+8*(len(vals)+len(t.words)))
+		buf = append(buf, byte(KindDict))
+		buf = binary.AppendUvarint(buf, uint64(t.n))
+		buf = binary.AppendUvarint(buf, uint64(len(vals)))
+		buf = appendWords(buf, vals)
+		buf = binary.AppendUvarint(buf, uint64(t.width))
+		return appendWords(buf, t.words)
+	case *RLEPage:
+		buf := make([]byte, 0, 2+9+10*len(t.runs))
+		buf = append(buf, byte(KindRLE))
+		buf = binary.AppendUvarint(buf, uint64(t.n))
+		buf = binary.AppendUvarint(buf, uint64(len(t.runs)))
+		for _, r := range t.runs {
+			buf = binary.LittleEndian.AppendUint64(buf, r.Value)
+			buf = binary.AppendUvarint(buf, uint64(r.Count))
+		}
+		return buf
+	default:
+		// Foreign Reader (row views never reach checkpoints, but stay total):
+		// flatten to a raw image.
+		n := p.Len()
+		buf := make([]byte, 0, 2+9+8*n)
+		buf = append(buf, byte(KindRaw))
+		buf = binary.AppendUvarint(buf, uint64(n))
+		for i := 0; i < n; i++ {
+			buf = binary.LittleEndian.AppendUint64(buf, p.Get(i))
+		}
+		return buf
+	}
+}
+
+func appendWords(buf []byte, words []uint64) []byte {
+	for _, w := range words {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// encCursor is a strict little parser for UnmarshalEncoded.
+type encCursor struct {
+	b   []byte
+	off int
+}
+
+func (c *encCursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("page: truncated encoded page")
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *encCursor) u64() (uint64, error) {
+	if c.off+8 > len(c.b) {
+		return 0, fmt.Errorf("page: truncated encoded page")
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v, nil
+}
+
+func (c *encCursor) words(n int) ([]uint64, error) {
+	if n < 0 || c.off+8*n > len(c.b) {
+		return nil, fmt.Errorf("page: truncated encoded page: want %d words", n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(c.b[c.off:])
+		c.off += 8
+	}
+	return out, nil
+}
+
+// UnmarshalEncoded parses a MarshalEncoded page, validating every structural
+// invariant of the encoding before constructing the Reader.
+func UnmarshalEncoded(b []byte) (Reader, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("page: truncated encoded page header")
+	}
+	c := &encCursor{b: b, off: 1}
+	kind := Kind(b[0])
+	nu, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nu > maxEncodedSlots {
+		return nil, fmt.Errorf("page: encoded page declares %d slots", nu)
+	}
+	n := int(nu)
+
+	var p Reader
+	switch kind {
+	case KindRaw:
+		slots, err := c.words(n)
+		if err != nil {
+			return nil, err
+		}
+		p = NewRaw(slots)
+	case KindPacked:
+		min, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		wu, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if wu >= 64 {
+			return nil, fmt.Errorf("page: packed width %d out of range", wu)
+		}
+		width := int(wu)
+		if c.off >= len(c.b) {
+			return nil, fmt.Errorf("page: truncated encoded page")
+		}
+		hasNulls := c.b[c.off]
+		c.off++
+		if hasNulls > 1 {
+			return nil, fmt.Errorf("page: packed null flag %d", hasNulls)
+		}
+		words, err := c.words((n*width + 63) / 64)
+		if err != nil {
+			return nil, err
+		}
+		var nulls []uint64
+		if hasNulls == 1 {
+			if nulls, err = c.words((n + 63) / 64); err != nil {
+				return nil, err
+			}
+		}
+		// min + maxCode must not collide with ∅ (the encoder's frame keeps
+		// non-null values below NullSlot; a forged min could alias it).
+		if width > 0 && min > types.NullSlot-(1<<uint(width)-1) {
+			return nil, fmt.Errorf("page: packed frame reaches the null sentinel")
+		}
+		if width == 0 && min == types.NullSlot {
+			return nil, fmt.Errorf("page: packed frame reaches the null sentinel")
+		}
+		p = &PackedPage{min: min, width: width, n: n, words: words, nulls: nulls}
+	case KindDict:
+		du, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if du == 0 || du > nu {
+			return nil, fmt.Errorf("page: dict size %d for %d slots", du, nu)
+		}
+		vals, err := c.words(int(du))
+		if err != nil {
+			return nil, err
+		}
+		wu, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		wantW := compress.BitWidth(du - 1)
+		if wantW == 0 {
+			wantW = 1
+		}
+		if int(wu) != wantW {
+			return nil, fmt.Errorf("page: dict width %d, %d values need %d", wu, du, wantW)
+		}
+		width := int(wu)
+		words, err := c.words((n*width + 63) / 64)
+		if err != nil {
+			return nil, err
+		}
+		// Every packed code must address the value table.
+		for i := 0; i < n; i++ {
+			if compress.UnpackBit(words, width, i) >= du {
+				return nil, fmt.Errorf("page: dict code out of range at slot %d", i)
+			}
+		}
+		p = &DictPage{dict: compress.DictFromValues(vals), width: width, n: n, words: words}
+	case KindRLE:
+		ru, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if ru > nu {
+			return nil, fmt.Errorf("page: %d runs for %d slots", ru, nu)
+		}
+		runs := make([]compress.Run, ru)
+		starts := make([]uint32, ru)
+		total := uint64(0)
+		for i := range runs {
+			v, err := c.u64()
+			if err != nil {
+				return nil, err
+			}
+			cnt, err := c.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if cnt == 0 || cnt > uint64(^uint32(0)) {
+				return nil, fmt.Errorf("page: run %d count %d", i, cnt)
+			}
+			starts[i] = uint32(total)
+			total += cnt
+			if total > nu {
+				return nil, fmt.Errorf("page: runs cover %d of %d slots", total, nu)
+			}
+			runs[i] = compress.Run{Value: v, Count: uint32(cnt)}
+		}
+		if total != nu {
+			return nil, fmt.Errorf("page: runs cover %d of %d slots", total, nu)
+		}
+		p = &RLEPage{runs: runs, starts: starts, n: n}
+	default:
+		return nil, fmt.Errorf("page: unknown encoding %d", b[0])
+	}
+	if c.off != len(b) {
+		return nil, fmt.Errorf("page: %d trailing bytes after encoded page", len(b)-c.off)
+	}
+	return p, nil
+}

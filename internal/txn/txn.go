@@ -171,6 +171,19 @@ func (m *Manager) Tick() types.Timestamp { return m.clock.Add(1) }
 // Now returns the current time without advancing the clock.
 func (m *Manager) Now() types.Timestamp { return m.clock.Load() }
 
+// AdvanceTo moves the clock forward to at least ts (CAS-max; never moves it
+// backward). Restore uses it after installing checkpointed base pages whose
+// records keep their ORIGINAL commit timestamps: the clock must pass every
+// installed time or fresh transactions would commit into the past.
+func (m *Manager) AdvanceTo(ts types.Timestamp) {
+	for {
+		cur := m.clock.Load()
+		if cur >= ts || m.clock.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}
+
 func (m *Manager) stripeFor(id types.TxnID) *mgrStripe {
 	return &m.stripe[(id>>1)%64]
 }

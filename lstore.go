@@ -185,4 +185,13 @@ type TableOptions struct {
 	// DisableAutoMerge turns off the background merge thread; merges then
 	// run only through Table.Merge (deterministic tests).
 	DisableAutoMerge bool
+	// DisableCompression publishes sealed/merged base pages raw instead of
+	// selecting an encoding (FOR bit-packing, RLE, dictionary) per column
+	// from its value distribution. Benchmark baseline knob.
+	DisableCompression bool
+	// DisableEncodedScan makes predicate-filtered scans fully decode sealed
+	// pages before filtering instead of evaluating predicates on the encoded
+	// representation and decoding only surviving 64-slot words. Benchmark
+	// baseline knob.
+	DisableEncodedScan bool
 }

@@ -259,6 +259,10 @@ func (tb *Table) CompressHistory() int { return tb.store.CompressHistory() }
 // Stats returns engine counters and merge-lag gauges.
 func (tb *Table) Stats() core.StatsSnapshot { return tb.store.Stats() }
 
+// CompressionStats summarizes the encoded footprint of the table's sealed
+// base pages (page counts per encoding, logical vs physical words).
+func (tb *Table) CompressionStats() core.CompressionStats { return tb.store.CompressionStats() }
+
 // Lineage reports every update range's per-column merge lineage
 // ({cursor, TPS} records; see §4.2) for introspection tools.
 func (tb *Table) Lineage() []core.RangeLineage { return tb.store.LineageSnapshot() }
