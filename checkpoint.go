@@ -42,9 +42,14 @@ const (
 	// ckptVersion 2 added framePageRange: cold sealed ranges ship their
 	// ENCODED base pages verbatim instead of expanded row tuples — images
 	// shrink by the pages' compression ratio and restore installs them
-	// without a decode/re-encode round-trip. Readers accept 1 and 2 (a v1
-	// image is a v2 image with no page frames).
-	ckptVersion    = 2
+	// without a decode/re-encode round-trip. Version 3 added framePageRef:
+	// when base pages already live on a spill file (TableOptions.Spill) and
+	// the table opts in (CheckpointSpillRefs), cold ranges ship as spill
+	// DESCRIPTORS — (offset, length, CRC) triples a few bytes each — instead
+	// of page payloads; the image is valid only alongside the spill file that
+	// produced it, which restore re-attaches and CRC-verifies per frame.
+	// Readers accept 1..3 (a v1 image is a v3 image with no page frames).
+	ckptVersion    = 3
 	ckptVersionMin = 1
 
 	frameHeader    = 1 // magic, version, timestamp, LSN watermark, #tables
@@ -53,6 +58,7 @@ const (
 	frameTableEnd  = 4 // table id, total row count (sanity)
 	frameEnd       = 5 // total rows across tables (sanity)
 	framePageRange = 6 // table id, cold range's encoded pages, verbatim
+	framePageRef   = 7 // table id, cold range's pages as spill descriptors
 
 	ckptRowsPerBatch = 512
 )
@@ -170,13 +176,56 @@ func (tb *Table) writeCheckpoint(w io.Writer, ts Timestamp, totalRows *int64) er
 		return err
 	}
 
-	// Cold sealed ranges (zero tail lineage) ship as page frames: their
-	// encoded base pages verbatim, at in-memory size. Their RID windows are
-	// then EXCLUDED from the row scan below, which serializes only the hot
-	// remainder (insert ranges, updated ranges, string-dictionary tables —
-	// ColdRangeImages returns nil for the latter).
+	// Cold sealed ranges (zero tail lineage) whose pages already sit on the
+	// spill file ship as DESCRIPTOR frames when the table opts in
+	// (CheckpointSpillRefs): SyncSpill first makes the referenced bytes
+	// durable — its failure fails the round, since descriptors must never
+	// point at bytes a crash could discard — then each qualifying range
+	// costs a few uvarints instead of its page payloads.
 	count := int64(0)
+	var refs []core.RangeRef
+	if tb.store.Spilled() && tb.store.Config().CheckpointSpillRefs {
+		if err := tb.store.SyncSpill(); err != nil {
+			return fmt.Errorf("lstore: checkpoint spill sync: %w", err)
+		}
+		refs = tb.store.ColdRangeRefs(ts)
+	}
+	refCovered := make(map[types.RID]bool, len(refs))
+	for _, ref := range refs {
+		refCovered[ref.FirstRID] = true
+		f := []byte{framePageRef}
+		f = binary.AppendUvarint(f, tb.id)
+		f = binary.AppendUvarint(f, uint64(ref.FirstRID))
+		f = binary.AppendUvarint(f, uint64(ref.N))
+		f = binary.AppendUvarint(f, uint64(ref.Rows))
+		f = binary.AppendUvarint(f, uint64(len(ref.Cols)))
+		for _, d := range ref.Cols {
+			f = appendSpillDesc(f, d)
+		}
+		f = appendSpillDesc(f, ref.Starts)
+		if err := wal.WriteFrame(w, f); err != nil {
+			return err
+		}
+		count += int64(ref.Rows)
+	}
+
+	// Remaining cold ranges (no spill attached, refs disabled, or a
+	// spill-write failure left a page resident without a descriptor) ship as
+	// page frames: their encoded base pages verbatim, at in-memory size. All
+	// cold windows — refs and images — are then EXCLUDED from the row scan
+	// below, which serializes only the hot remainder (insert ranges, updated
+	// ranges, string-dictionary tables — ColdRangeImages returns nil for the
+	// latter).
 	imgs := tb.store.ColdRangeImages(ts)
+	if len(refCovered) > 0 {
+		kept := imgs[:0]
+		for _, img := range imgs {
+			if !refCovered[img.FirstRID] {
+				kept = append(kept, img)
+			}
+		}
+		imgs = kept
+	}
 	for _, img := range imgs {
 		f := []byte{framePageRange}
 		f = binary.AppendUvarint(f, tb.id)
@@ -235,12 +284,24 @@ func (tb *Table) writeCheckpoint(w io.Writer, ts Timestamp, totalRows *int64) er
 		})
 		return frameErr
 	}
+	type window struct {
+		first types.RID
+		n     int
+	}
+	wins := make([]window, 0, len(refs)+len(imgs))
+	for _, ref := range refs {
+		wins = append(wins, window{ref.FirstRID, ref.N})
+	}
+	for _, img := range imgs {
+		wins = append(wins, window{img.FirstRID, img.N})
+	}
+	sort.Slice(wins, func(i, j int) bool { return wins[i].first < wins[j].first })
 	var prev types.RID
-	for _, img := range imgs { // windows ascend with range order
-		if err := scanWindow(prev, img.FirstRID); err != nil {
+	for _, win := range wins {
+		if err := scanWindow(prev, win.first); err != nil {
 			return err
 		}
-		prev = img.FirstRID + types.RID(img.N)
+		prev = win.first + types.RID(win.n)
 	}
 	if err := scanWindow(prev, ^types.RID(0)); err != nil {
 		return err
@@ -377,41 +438,49 @@ func (db *DB) restoreCheckpoint(r io.Reader, stats *RecoverStats) error {
 			if fp.err != nil || fp.off != len(fp.p) {
 				return fmt.Errorf("lstore: checkpoint page frame malformed: %w", wal.ErrTornFrame)
 			}
-			var rowFn func(key int64, vals []Value) error
-			if relog {
-				tvals := make([]wal.TypedVal, nCols)
-				rowFn = func(_ int64, vals []Value) error {
-					for i, v := range vals {
-						tvals[i] = toTyped(v)
-					}
-					_, err := db.logger.Append(wal.Record{
-						Kind: wal.KindInsert, TxnID: loadID, Table: curTbl.id, TVals: tvals,
-					})
-					return err
-				}
-			}
-			installed, err := curTbl.store.InstallRangeImage(img, rowFn)
-			if errors.Is(err, core.ErrImageShape) {
-				// The restoring store runs a different RangeSize (or layout):
-				// decode the image to rows and take the bulk-load path.
-				rows, rerr := curTbl.store.RangeImageRows(img)
-				if rerr != nil {
-					return fmt.Errorf("lstore: checkpoint page restore into %q: %w", curTbl.name, rerr)
-				}
-				installed, err = curTbl.store.BulkLoad(rows)
-				if err == nil && rowFn != nil {
-					for _, vals := range rows {
-						if err = rowFn(0, vals); err != nil {
-							break
-						}
-					}
-				}
-			}
+			installed, err := db.installCkptRange(curTbl, img, declRows, relog, loadID)
 			if err != nil {
-				return fmt.Errorf("lstore: checkpoint page restore into %q: %w", curTbl.name, err)
+				return err
 			}
-			if uint64(installed) != declRows {
-				return fmt.Errorf("lstore: checkpoint page frame restored %d rows, frame declares %d", installed, declRows)
+			stats.CheckpointRows += int64(installed)
+			curCount += int64(installed)
+		case framePageRef:
+			id := fp.uvarint()
+			firstRID := fp.uvarint()
+			nSlots := fp.uvarint()
+			declRows := fp.uvarint()
+			nCols := fp.uvarint()
+			if fp.err != nil {
+				return fmt.Errorf("lstore: checkpoint ref frame: %w", fp.err)
+			}
+			if curTbl == nil || id != curTbl.id {
+				return fmt.Errorf("lstore: checkpoint ref frame for table %d outside its section", id)
+			}
+			if nCols != uint64(curTbl.schema.NumCols()) {
+				return fmt.Errorf("lstore: checkpoint ref frame has %d columns, schema has %d", nCols, curTbl.schema.NumCols())
+			}
+			ref := core.RangeRef{
+				FirstRID: types.RID(firstRID),
+				N:        int(nSlots),
+				Rows:     int(declRows),
+				Cols:     make([]core.SpillDesc, nCols),
+			}
+			for c := range ref.Cols {
+				ref.Cols[c] = fp.spillDesc()
+			}
+			ref.Starts = fp.spillDesc()
+			if fp.err != nil || fp.off != len(fp.p) {
+				return fmt.Errorf("lstore: checkpoint ref frame malformed: %w", wal.ErrTornFrame)
+			}
+			// Resolve against the re-attached spill file; a missing file or a
+			// CRC mismatch (wrong or corrupt spill) fails restore loudly.
+			img, err := curTbl.store.ResolveRangeRef(ref)
+			if err != nil {
+				return fmt.Errorf("lstore: checkpoint restore into %q: %w", curTbl.name, err)
+			}
+			installed, err := db.installCkptRange(curTbl, img, declRows, relog, loadID)
+			if err != nil {
+				return err
 			}
 			stats.CheckpointRows += int64(installed)
 			curCount += int64(installed)
@@ -451,6 +520,49 @@ func (db *DB) restoreCheckpoint(r io.Reader, stats *RecoverStats) error {
 			return fmt.Errorf("lstore: checkpoint frame tag %d unknown", p[0])
 		}
 	}
+}
+
+// installCkptRange installs one cold-range image into tbl, re-logging its
+// rows into the new WAL generation when relog is set — shared by the
+// framePageRange and framePageRef restore paths.
+func (db *DB) installCkptRange(tbl *Table, img core.RangeImage, declRows uint64, relog bool, loadID uint64) (int, error) {
+	var rowFn func(key int64, vals []Value) error
+	if relog {
+		tvals := make([]wal.TypedVal, tbl.schema.NumCols())
+		rowFn = func(_ int64, vals []Value) error {
+			for i, v := range vals {
+				tvals[i] = toTyped(v)
+			}
+			_, err := db.logger.Append(wal.Record{
+				Kind: wal.KindInsert, TxnID: loadID, Table: tbl.id, TVals: tvals,
+			})
+			return err
+		}
+	}
+	installed, err := tbl.store.InstallRangeImage(img, rowFn)
+	if errors.Is(err, core.ErrImageShape) {
+		// The restoring store runs a different RangeSize (or layout):
+		// decode the image to rows and take the bulk-load path.
+		rows, rerr := tbl.store.RangeImageRows(img)
+		if rerr != nil {
+			return 0, fmt.Errorf("lstore: checkpoint page restore into %q: %w", tbl.name, rerr)
+		}
+		installed, err = tbl.store.BulkLoad(rows)
+		if err == nil && rowFn != nil {
+			for _, vals := range rows {
+				if err = rowFn(0, vals); err != nil {
+					break
+				}
+			}
+		}
+	}
+	if err != nil {
+		return installed, fmt.Errorf("lstore: checkpoint page restore into %q: %w", tbl.name, err)
+	}
+	if uint64(installed) != declRows {
+		return installed, fmt.Errorf("lstore: checkpoint page frame restored %d rows, frame declares %d", installed, declRows)
+	}
+	return installed, nil
 }
 
 // verifyCkptTable matches a checkpoint table frame against the re-created
@@ -567,6 +679,21 @@ func (c *ckptParser) str() string {
 func appendCkptString(p []byte, s string) []byte {
 	p = binary.AppendUvarint(p, uint64(len(s)))
 	return append(p, s...)
+}
+
+// appendSpillDesc serializes one spill descriptor (offset, length, CRC).
+func appendSpillDesc(p []byte, d core.SpillDesc) []byte {
+	p = binary.AppendUvarint(p, uint64(d.Off))
+	p = binary.AppendUvarint(p, uint64(d.Len))
+	return binary.AppendUvarint(p, uint64(d.CRC))
+}
+
+func (c *ckptParser) spillDesc() core.SpillDesc {
+	return core.SpillDesc{
+		Off: int64(c.uvarint()),
+		Len: uint32(c.uvarint()),
+		CRC: uint32(c.uvarint()),
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -32,6 +32,7 @@ func main() {
 		rows    = flag.Int("rows", 8192, "table size")
 		updates = flag.Int("updates", 20000, "update statements to run")
 		rng     = flag.Int("range", 1024, "update-range size")
+		pool    = flag.Int64("pool-bytes", 0, "spill sealed pages to a temp file behind a pool capped at this many bytes (0 = all resident)")
 		verify  = flag.String("verify", "", "offline integrity scan: 'wal' or 'checkpoint' (requires -path; no recovery is performed)")
 		path    = flag.String("path", "", "file to scan with -verify")
 	)
@@ -47,12 +48,27 @@ func main() {
 	sink := &wal.BufferSink{}
 	db := lstore.Open(lstore.WithWAL(sink, nil))
 	defer db.Close()
+	opts := lstore.TableOptions{RangeSize: *rng, DisableAutoMerge: true}
+	if *pool > 0 {
+		dir, err := os.MkdirTemp("", "lstore-inspect")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		spill, err := lstore.OpenFileSpill(dir + "/spill.lsp")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer spill.Close()
+		opts.Spill = spill
+		opts.PoolBytes = *pool
+	}
 	tbl, err := db.CreateTable("t", lstore.NewSchema("id",
 		lstore.Column{Name: "id", Type: lstore.Int64},
 		lstore.Column{Name: "a", Type: lstore.Int64},
 		lstore.Column{Name: "b", Type: lstore.Int64},
 		lstore.Column{Name: "c", Type: lstore.Int64},
-	), lstore.TableOptions{RangeSize: *rng, DisableAutoMerge: true})
+	), opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,6 +109,7 @@ func main() {
 	fmt.Printf("merges=%d merged-tail-records=%d seals=%d\n", st.Merges, st.MergedTailRecords, st.Seals)
 	fmt.Printf("merge-lag: backlog=%d queue-depth=%d workers=%d\n", st.MergeBacklog, st.MergeQueueDepth, st.MergeWorkers)
 	fmt.Printf("pages retired=%d reclaimed=%d\n", st.PagesRetired, st.PagesReclaimed)
+	printPoolGauges(st)
 
 	fmt.Printf("\n== per-range merge lineage (before final merge) ==\n")
 	for _, rl := range tbl.Lineage() {
@@ -111,6 +128,7 @@ func main() {
 		st.Merges, st.MergedTailRecords, st.HistoryPasses, st.HistoryRecords)
 	fmt.Printf("merge-lag: backlog=%d queue-depth=%d workers=%d\n", st.MergeBacklog, st.MergeQueueDepth, st.MergeWorkers)
 	fmt.Printf("pages retired=%d reclaimed=%d\n", st.PagesRetired, st.PagesReclaimed)
+	printPoolGauges(st)
 
 	// Durability state: log growth, then a checkpoint and the truncation it
 	// unlocks — restart cost becomes checkpoint + tail, not total history.
@@ -152,6 +170,18 @@ func main() {
 		cs.SealedRanges, cs.PagesRaw, cs.PagesPacked, cs.PagesDict, cs.PagesRLE)
 	fmt.Printf("logical-words=%d physical-words=%d ratio=%.2fx\n",
 		cs.LogicalWords, cs.PhysicalWords, cs.Ratio())
+}
+
+// printPoolGauges reports the beyond-RAM state of the sealed base pages:
+// buffer-pool hit/miss/eviction counters, the resident-byte gauge against
+// the cap, and the spill directory's frame count. All zero without -pool-bytes.
+func printPoolGauges(st lstore.StatsSnapshot) {
+	if st.PoolCapBytes == 0 && st.SpilledPages == 0 {
+		return
+	}
+	fmt.Printf("buffer pool: hits=%d misses=%d evictions=%d resident=%d/%d bytes\n",
+		st.PoolHits, st.PoolMisses, st.PoolEvictions, st.PoolResidentBytes, st.PoolCapBytes)
+	fmt.Printf("spill: pages=%d append-errors=%d\n", st.SpilledPages, st.SpillErrors)
 }
 
 // runVerify is the -verify mode: a read-only scan of a WAL or checkpoint

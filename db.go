@@ -244,6 +244,9 @@ func (db *DB) CreateTable(name string, schema Schema, opts ...TableOptions) (*Ta
 		ScanWorkers:               o.ScanWorkers,
 		DisableCompression:        o.DisableCompression,
 		DisableEncodedScan:        o.DisableEncodedScan,
+		Spill:                     o.Spill,
+		PoolBytes:                 o.PoolBytes,
+		CheckpointSpillRefs:       o.CheckpointSpillRefs,
 	}
 	if o.RowLayout {
 		cfg.Layout = core.RowLayout

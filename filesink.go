@@ -271,6 +271,31 @@ func VerifyCheckpoint(r io.Reader) CheckpointVerifyReport {
 			}
 			curCount += int64(nRows)
 			rows += int64(nRows)
+		case framePageRef:
+			id := fp.uvarint()
+			fp.uvarint() // first RID
+			fp.uvarint() // slot count
+			nRows := fp.uvarint()
+			nCols := fp.uvarint()
+			if fp.err != nil {
+				return structural("truncated ref frame")
+			}
+			if !inTable || id != curTable {
+				return structural("ref frame for table %d outside its section", id)
+			}
+			if int(nCols) != curCols {
+				return structural("ref frame has %d columns, table declares %d", nCols, curCols)
+			}
+			// nCols column descriptors + starts; CRC-verification against the
+			// spill file is restore's job (the file isn't at hand here).
+			for c := uint64(0); c <= nCols; c++ {
+				fp.spillDesc()
+			}
+			if fp.err != nil || fp.off != len(fp.p) {
+				return structural("ref frame payload malformed")
+			}
+			curCount += int64(nRows)
+			rows += int64(nRows)
 		case frameTableEnd:
 			id := fp.uvarint()
 			want := fp.uvarint()

@@ -1,0 +1,154 @@
+// The spill experiment measures beyond-RAM base storage: the same sealed
+// table is scanned with every page resident, then through the buffer pool
+// with the byte budget capped at 1/2, 1/5, and 1/10 of the encoded
+// footprint, base pages spilled to a file. Reported per cell: scan latency
+// and rate, the pool's resident bytes after the sweep (must stay under the
+// cap — the beyond-RAM guarantee), and the hit rate the CLOCK policy
+// sustained while refaulting misses from disk.
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"lstore"
+)
+
+// SpillExp runs the pool-cap sweep over a file-spilled table.
+func SpillExp(o Options) error {
+	o = o.withDefaults()
+	dir, err := os.MkdirTemp("", "lstore-spill-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	o.printf("# Spill: full-table aggregate over sealed pages — %d rows, range size %d\n",
+		o.TableSize, o.RangeSize)
+	o.printf("%-16s %14s %14s %16s %16s %10s\n",
+		"pool", "scan (ms)", "scans/s", "resident-bytes", "pool-cap", "hit%")
+
+	// The all-resident baseline also teaches us the encoded footprint the
+	// caps are fractions of.
+	baseRate, resident, err := o.spillCell(nil, 0, 0)
+	if err != nil {
+		return err
+	}
+
+	for _, div := range []int{2, 5, 10} {
+		spillPath := filepath.Join(dir, fmt.Sprintf("spill-%d.lsp", div))
+		spill, err := lstore.OpenFileSpill(spillPath)
+		if err != nil {
+			return err
+		}
+		rate, _, err := o.spillCell(spill, resident/int64(div), baseRate)
+		spill.Close()
+		if err != nil {
+			return err
+		}
+		_ = rate
+	}
+	return nil
+}
+
+// spillCell loads one table (spilled iff spill != nil), seals it, runs the
+// aggregate sweep, and verifies the pool stayed inside its budget. It
+// returns the scan rate and the sealed encoded footprint.
+func (o Options) spillCell(spill lstore.SpillSink, poolBytes int64, baseRate float64) (float64, int64, error) {
+	opts := lstore.TableOptions{
+		RangeSize:   o.RangeSize,
+		MergeBatch:  o.MergeBatch,
+		ScanWorkers: o.ScanWorkers,
+		Spill:       spill,
+		PoolBytes:   poolBytes,
+	}
+	db := lstore.Open()
+	defer db.Close()
+	tbl, err := db.CreateTable("s", lstore.NewSchema("id",
+		lstore.Column{Name: "id", Type: lstore.Int64},
+		lstore.Column{Name: "val", Type: lstore.Int64},
+		lstore.Column{Name: "pay", Type: lstore.Int64},
+	), opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	const batch = 4096
+	for lo := 0; lo < o.TableSize; lo += batch {
+		hi := lo + batch
+		if hi > o.TableSize {
+			hi = o.TableSize
+		}
+		tx := db.Begin(lstore.ReadCommitted)
+		for i := lo; i < hi; i++ {
+			if err := tbl.Insert(tx, lstore.Row{
+				"id":  lstore.Int(int64(i)),
+				"val": lstore.Int(int64((i / 64) % 1000)),
+				"pay": lstore.Int(int64(i % 4096)),
+			}); err != nil {
+				tx.Abort()
+				return 0, 0, err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return 0, 0, err
+		}
+	}
+	tbl.Merge()
+	ts := db.Now()
+	resident := int64(tbl.CompressionStats().PhysicalWords) * 8
+
+	wantSum := int64(0)
+	for i := 0; i < o.TableSize; i++ {
+		wantSum += int64(i % 4096)
+	}
+	ms, perSec, err := measureQuery(o.Duration, func() error {
+		res, err := tbl.Query().At(ts).Aggregate(lstore.Sum("pay"), lstore.Count())
+		if err == nil && res.Rows(1) != int64(o.TableSize) {
+			err = fmt.Errorf("aggregate saw %d rows, want %d", res.Rows(1), o.TableSize)
+		}
+		if err == nil && res.Int(0) != wantSum {
+			err = fmt.Errorf("aggregate sum %d, want %d", res.Int(0), wantSum)
+		}
+		return err
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+
+	st := tbl.Stats()
+	name := "all-resident"
+	hitPct := 100.0
+	if spill != nil {
+		name = fmt.Sprintf("cap-1/%d", resident/max64(poolBytes, 1))
+		if st.PoolResidentBytes > poolBytes {
+			return 0, 0, fmt.Errorf("spill: resident %d bytes exceeds pool cap %d after scan",
+				st.PoolResidentBytes, poolBytes)
+		}
+		if st.SpilledPages == 0 || st.PoolMisses == 0 {
+			return 0, 0, fmt.Errorf("spill: nothing spilled (pages=%d misses=%d) — cap %d too large?",
+				st.SpilledPages, st.PoolMisses, poolBytes)
+		}
+		if total := st.PoolHits + st.PoolMisses; total > 0 {
+			hitPct = 100 * float64(st.PoolHits) / float64(total)
+		}
+		if baseRate > 0 {
+			o.printf("%-16s vs all-resident: %.1f%% of baseline rate\n",
+				name, 100*perSec/baseRate)
+		}
+	}
+	reportedResident := resident
+	if spill != nil {
+		reportedResident = st.PoolResidentBytes
+	}
+	o.printf("%-16s %14.3f %14.1f %16d %16d %10.1f\n",
+		name, ms, perSec, reportedResident, poolBytes, hitPct)
+	o.record(Sample{
+		Experiment: "spill", System: name,
+		Labels:        map[string]int{"pool_cap_kb": int(poolBytes / 1024)},
+		ScanMillis:    ms,
+		ScansPerSec:   perSec,
+		BytesResident: reportedResident,
+	})
+	return perSec, resident, nil
+}

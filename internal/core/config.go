@@ -116,6 +116,23 @@ type Config struct {
 	// predicate windows on the encoded representation and decoding only
 	// surviving 64-slot words. Benchmark baseline knob.
 	DisableEncodedScan bool
+
+	// Spill enables beyond-RAM base storage: sealed/merged base pages are
+	// appended to this sink in their page.MarshalEncoded form and faulted
+	// back in through a pinnable buffer pool on read. Tail pages, unmerged
+	// chains, and row-layout slabs stay memory-resident regardless. Nil
+	// keeps every base page resident (the previous behavior).
+	Spill SpillSink
+
+	// PoolBytes caps the decoded in-memory footprint of spilled base pages
+	// (the buffer pool's CLOCK eviction budget). 0 with Spill set picks a
+	// default; ignored when Spill is nil.
+	PoolBytes int64
+
+	// CheckpointSpillRefs lets checkpoints reference already-spilled cold
+	// pages by descriptor instead of re-shipping their bytes; restore then
+	// requires the same spill file re-attached. Ignored when Spill is nil.
+	CheckpointSpillRefs bool
 }
 
 // applyDefaults fills zero fields with paper-faithful defaults.
@@ -127,6 +144,9 @@ func (c Config) applyDefaults() Config {
 		c.TailBlockSize = c.RangeSize / 8
 		if c.TailBlockSize < 64 {
 			c.TailBlockSize = 64
+		}
+		if c.TailBlockSize > c.RangeSize {
+			c.TailBlockSize = c.RangeSize // tiny ranges (torture configs)
 		}
 	}
 	if c.MergeBatch == 0 {
@@ -143,6 +163,9 @@ func (c Config) applyDefaults() Config {
 		if c.ScanWorkers > 8 {
 			c.ScanWorkers = 8
 		}
+	}
+	if c.Spill != nil && c.PoolBytes == 0 {
+		c.PoolBytes = 64 << 20
 	}
 	return c
 }
@@ -163,6 +186,12 @@ func (c Config) validate() error {
 	}
 	if c.ScanWorkers <= 0 {
 		return fmt.Errorf("core: ScanWorkers %d must be positive", c.ScanWorkers)
+	}
+	if c.Spill == nil && c.PoolBytes != 0 {
+		return fmt.Errorf("core: PoolBytes requires a Spill sink")
+	}
+	if c.Spill != nil && c.Layout == RowLayout {
+		return fmt.Errorf("core: spill requires the column layout (row slabs never spill)")
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"lstore/internal/bufpool"
 	"lstore/internal/page"
 	"lstore/internal/types"
 )
@@ -43,7 +44,8 @@ func (s *Store) coldRange(r *updateRange, ts types.Timestamp) (mv *metaVersion, 
 	if mv == nil {
 		return nil, false
 	}
-	st := mv.startTime
+	st := mv.startTime.MustPin() // one pin covers the whole slot walk
+	defer mv.startTime.Unpin()
 	for i, n := 0, st.Len(); i < n; i++ {
 		raw := st.Get(i)
 		if raw == types.NullSlot {
@@ -77,13 +79,15 @@ func (s *Store) ColdRangeImages(ts types.Timestamp) []RangeImage {
 		if !ok {
 			continue
 		}
+		// Marshal from the PINNED concrete pages: marshaling a handle
+		// directly would flatten the page to raw through point reads.
+		st := mv.startTime.MustPin()
 		img := RangeImage{
 			FirstRID: r.firstRID,
 			N:        r.n,
 			Cols:     make([][]byte, s.schema.NumCols()),
-			Starts:   page.MarshalEncoded(mv.startTime),
+			Starts:   page.MarshalEncoded(st),
 		}
-		st := mv.startTime
 		for slot, n := 0, st.Len(); slot < n; slot++ {
 			if raw := st.Get(slot); raw != types.NullSlot {
 				img.Rows++
@@ -92,6 +96,7 @@ func (s *Store) ColdRangeImages(ts types.Timestamp) []RangeImage {
 				}
 			}
 		}
+		mv.startTime.Unpin()
 		complete := true
 		for c := range img.Cols {
 			cv := r.colVer(c)
@@ -99,7 +104,9 @@ func (s *Store) ColdRangeImages(ts types.Timestamp) []RangeImage {
 				complete = false
 				break
 			}
-			img.Cols[c] = page.MarshalEncoded(cv.data)
+			pg := cv.data.MustPin()
+			img.Cols[c] = page.MarshalEncoded(pg)
+			cv.data.Unpin()
 		}
 		if complete {
 			out = append(out, img)
@@ -192,14 +199,18 @@ func (s *Store) InstallRangeImage(img RangeImage, row func(key int64, vals []typ
 
 	// Publish: column versions, then meta, then sealed — the order a normal
 	// seal uses. TPS 0 on everything: zero tail lineage by construction.
+	// With a spill attached the restored pages spill like any seal would;
+	// the const meta pages stay resident (a handful of words each, and a
+	// cold range's Last Updated/Schema Encoding are never checkpointed).
+	ncolsTotal := len(pages)
 	for c := range pages {
-		r.cols[c].Store(&colVersion{tps: 0, data: pages[c]})
+		r.cols[c].Store(&colVersion{tps: 0, data: s.publishPage(r, c, pages[c])})
 	}
 	r.meta.Store(&metaVersion{
 		tps:         0,
-		startTime:   starts,
-		lastUpdated: page.NewConst(types.NullSlot, img.N),
-		schemaEnc:   page.NewConst(0, img.N),
+		startTime:   s.publishPage(r, ncolsTotal+spillSlotStart, starts),
+		lastUpdated: bufpool.NewResident(page.NewConst(types.NullSlot, img.N)),
+		schemaEnc:   bufpool.NewResident(page.NewConst(0, img.N)),
 	})
 	r.sealed.Store(true)
 	r.insertBlock.Store(nil)
@@ -268,4 +279,112 @@ func (s *Store) RangeImageRows(img RangeImage) ([][]types.Value, error) {
 		rows = append(rows, vals)
 	}
 	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Spill-descriptor references (checkpoint v3's framePageRef)
+
+// RangeRef is one cold range's base pages referenced by spill descriptor:
+// the same shape as RangeImage with (offset, length, CRC) descriptors in
+// place of payload bytes. A checkpoint carrying refs is valid only together
+// with the spill file that produced them; restore re-attaches that file and
+// resolves each descriptor back to the identical page.MarshalEncoded bytes
+// a framePageRange would have shipped.
+type RangeRef struct {
+	FirstRID types.RID
+	N        int
+	Rows     int
+	MaxStart types.Timestamp
+	Cols     []SpillDesc // per schema column
+	Starts   SpillDesc   // Start Time meta page
+}
+
+// ColdRangeRefs captures every cold range as of ts by spill descriptor.
+// Only ranges whose every page actually reached the spill file qualify — a
+// spill-write failure leaves a resident page with no descriptor, and such a
+// range simply falls back to the byte-shipping image path (the caller pairs
+// ColdRangeRefs with ColdRangeImages over the remaining ranges). Exclusions
+// match ColdRangeImages: row layout and dictionary tables never qualify.
+func (s *Store) ColdRangeRefs(ts types.Timestamp) []RangeRef {
+	if s.pool == nil || s.cfg.Layout == RowLayout {
+		return nil
+	}
+	for _, d := range s.dicts {
+		if d != nil {
+			return nil // spilled codes are meaningless without this store's dict
+		}
+	}
+	g := s.em.Pin()
+	defer g.Unpin()
+	var out []RangeRef
+	for i := 0; i < s.rangeCount(); i++ {
+		r := s.rangeAt(i)
+		mv, ok := s.coldRange(r, ts)
+		if !ok {
+			continue
+		}
+		stDesc, ok := mv.startTime.Desc()
+		if !ok {
+			continue
+		}
+		ref := RangeRef{
+			FirstRID: r.firstRID,
+			N:        r.n,
+			Cols:     make([]SpillDesc, s.schema.NumCols()),
+			Starts:   stDesc,
+		}
+		st := mv.startTime.MustPin()
+		for slot, n := 0, st.Len(); slot < n; slot++ {
+			if raw := st.Get(slot); raw != types.NullSlot {
+				ref.Rows++
+				if raw > ref.MaxStart {
+					ref.MaxStart = raw
+				}
+			}
+		}
+		mv.startTime.Unpin()
+		complete := true
+		for c := range ref.Cols {
+			cv := r.colVer(c)
+			if cv == nil {
+				complete = false
+				break
+			}
+			if ref.Cols[c], ok = cv.data.Desc(); !ok {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			out = append(out, ref)
+		}
+	}
+	return out
+}
+
+// ResolveRangeRef reads a RangeRef's frames back from the attached spill
+// file into a RangeImage (the restore path). Every frame is CRC-verified by
+// the spill sink, so a descriptor paired with the wrong spill file fails
+// loudly here instead of installing corrupt pages.
+func (s *Store) ResolveRangeRef(ref RangeRef) (RangeImage, error) {
+	img := RangeImage{
+		FirstRID: ref.FirstRID,
+		N:        ref.N,
+		Rows:     ref.Rows,
+		MaxStart: ref.MaxStart,
+		Cols:     make([][]byte, len(ref.Cols)),
+	}
+	if s.cfg.Spill == nil {
+		return img, fmt.Errorf("core: checkpoint references spilled pages but no spill file is attached")
+	}
+	var err error
+	if img.Starts, err = s.ReadSpill(ref.Starts); err != nil {
+		return img, fmt.Errorf("core: range ref start page: %w", err)
+	}
+	for c, d := range ref.Cols {
+		if img.Cols[c], err = s.ReadSpill(d); err != nil {
+			return img, fmt.Errorf("core: range ref column %d: %w", c, err)
+		}
+	}
+	return img, nil
 }

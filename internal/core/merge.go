@@ -1,6 +1,7 @@
 package core
 
 import (
+	"lstore/internal/bufpool"
 	"lstore/internal/page"
 	"lstore/internal/txn"
 	"lstore/internal/types"
@@ -186,7 +187,8 @@ func (s *Store) sealLocked(r *updateRange, ib *tailBlock) bool {
 			}
 		}
 		for c := 0; c < ncols; c++ {
-			r.cols[c].Store(&colVersion{tps: 0, data: rowView{data: slab, ncols: ncols, col: c, n: n}})
+			// Row slabs never spill (point-read locality is their purpose).
+			r.cols[c].Store(&colVersion{tps: 0, data: bufpool.NewResident(rowView{data: slab, ncols: ncols, col: c, n: n})})
 		}
 	} else {
 		vals := a.u64(&a.vals, n) // one arena buffer, refilled per column
@@ -199,7 +201,7 @@ func (s *Store) sealLocked(r *updateRange, ib *tailBlock) bool {
 					vals[i] = types.NullSlot
 				}
 			}
-			r.cols[c].Store(&colVersion{tps: 0, data: s.encodePage(vals)})
+			r.cols[c].Store(&colVersion{tps: 0, data: s.publishPage(r, c, s.encodePage(vals))})
 		}
 	}
 
@@ -211,9 +213,9 @@ func (s *Store) sealLocked(r *updateRange, ib *tailBlock) bool {
 	}
 	r.meta.Store(&metaVersion{
 		tps:         0,
-		startTime:   s.encodePage(starts),
-		lastUpdated: s.encodePage(nulls),
-		schemaEnc:   s.encodePage(zeros),
+		startTime:   s.publishPage(r, ncols+spillSlotStart, s.encodePage(starts)),
+		lastUpdated: s.publishPage(r, ncols+spillSlotLastUpdated, s.encodePage(nulls)),
+		schemaEnc:   s.publishPage(r, ncols+spillSlotSchemaEnc, s.encodePage(zeros)),
 	})
 	r.sealed.Store(true)
 
@@ -239,6 +241,16 @@ func (v rowView) Get(i int) uint64 { return v.data[i*v.ncols+v.col] }
 func (v rowView) Len() int         { return v.n }
 func (v rowView) Kind() page.Kind  { return page.KindRaw }
 func (v rowView) MemWords() int    { return v.n }
+
+// asRowView unwraps the row slab behind a version handle. Row slabs never
+// spill (Config.validate rejects Spill with RowLayout), so the handle is
+// always resident and the pin is free.
+func asRowView(h *bufpool.Handle) (rowView, bool) {
+	pg := h.MustPin()
+	v, ok := pg.(rowView)
+	h.Unpin()
+	return v, ok
+}
 
 // ---------------------------------------------------------------------------
 // The relaxed merge (§4.1)
@@ -343,10 +355,10 @@ func (s *Store) mergeRange(r *updateRange, col int) int {
 		// slabs; a full merge must then rebuild from each column's OWN
 		// version so no column's consolidated state is lost. In the common
 		// case every column still shares one slab — copy it wholesale.
-		first := r.colVer(0).data.(rowView)
+		first, _ := asRowView(r.colVer(0).data)
 		shared := true
 		for c := 1; c < ncols && shared; c++ {
-			v, ok := r.colVer(c).data.(rowView)
+			v, ok := asRowView(r.colVer(c).data)
 			shared = ok && &v.data[0] == &first.data[0]
 		}
 		switch {
@@ -448,17 +460,22 @@ func (s *Store) mergeRange(r *updateRange, col int) int {
 		stamped := r.lineage.advance(c, end, newTPS)
 		switch {
 		case rowSlab != nil:
-			r.cols[c].Store(&colVersion{tps: stamped, data: rowView{data: rowSlab, ncols: ncols, col: c, n: r.n}})
+			r.cols[c].Store(&colVersion{tps: stamped, data: bufpool.NewResident(rowView{data: rowSlab, ncols: ncols, col: c, n: r.n})})
 		default:
 			if a.workUsed[c] {
-				r.cols[c].Store(&colVersion{tps: stamped, data: s.encodePage(a.work[c])})
+				r.cols[c].Store(&colVersion{tps: stamped, data: s.publishPage(r, c, s.encodePage(a.work[c]))})
 			} else {
 				if stamped == old.tps {
 					continue // already consolidated past this prefix
 				}
+				// Lineage-only bump: the new version reuses old.data, so the
+				// handle stays live and must not be released below.
 				r.cols[c].Store(&colVersion{tps: stamped, data: old.data})
+				s.retireVersion(old)
+				continue
 			}
 		}
+		old.data.Release() // epoch readers keep their pins; spill keeps the bytes
 		s.retireVersion(old)
 	}
 
@@ -488,10 +505,12 @@ func (s *Store) mergeRange(r *updateRange, col int) int {
 			}
 			r.meta.Store(&metaVersion{
 				tps:         r.lineage.advanceMeta(end, newTPS),
-				startTime:   mv.startTime,
-				lastUpdated: s.encodePage(last),
-				schemaEnc:   s.encodePage(encs),
+				startTime:   mv.startTime, // preserved across merges: handle reused
+				lastUpdated: s.publishPage(r, ncols+spillSlotLastUpdated, s.encodePage(last)),
+				schemaEnc:   s.publishPage(r, ncols+spillSlotSchemaEnc, s.encodePage(encs)),
 			})
+			mv.lastUpdated.Release()
+			mv.schemaEnc.Release()
 		}
 	}
 

@@ -4,7 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"lstore/internal/page"
+	"lstore/internal/bufpool"
 	"lstore/internal/txn"
 	"lstore/internal/types"
 )
@@ -12,21 +12,25 @@ import (
 // colVersion is one column's read-only base page set for a range, stamped
 // with its in-page lineage counter (§4.2): tps is the RID of the newest tail
 // record whose effect is reflected in data. Versions are immutable; the
-// merge process swaps a new version in atomically.
+// merge process swaps a new version in atomically. The page is held through
+// a buffer-pool handle, never a raw page pointer: with Config.Spill the
+// bytes may live on disk, and readers pin the handle for the duration of
+// their decode window (point reads pin per Get internally).
 type colVersion struct {
 	tps  types.RID
-	data page.Reader // RangeSize slots
+	data *bufpool.Handle // RangeSize slots
 }
 
 // metaVersion bundles the merge-maintained meta-columns of base records:
 // Start Time (original insertion time, preserved across merges), Last
 // Updated Time (populated by merge, §2.2) and the base-record Schema
-// Encoding (populated by merge).
+// Encoding (populated by merge). Meta pages go through handles exactly like
+// data pages — a sealed range can be entirely cold.
 type metaVersion struct {
 	tps         types.RID
-	startTime   page.Reader // resolved insert commit times; ∅ = aborted insert
-	lastUpdated page.Reader // commit time of newest merged update; ∅ = never
-	schemaEnc   page.Reader // columns ever updated (merged view) + delete flag
+	startTime   *bufpool.Handle // resolved insert commit times; ∅ = aborted insert
+	lastUpdated *bufpool.Handle // commit time of newest merged update; ∅ = never
+	schemaEnc   *bufpool.Handle // columns ever updated (merged view) + delete flag
 }
 
 // updateRange is one virtual partition of the table (§2.1): RangeSize

@@ -173,7 +173,8 @@ func mergeAggStates(dst, src []AggState) {
 // or column count.
 type scanScratch struct {
 	data  [][]uint64    // decoded data page per requested column
-	cvs   []*colVersion // pinned column versions (immutable snapshots)
+	cvs   []*colVersion // captured column versions (immutable snapshots)
+	pgs   []page.Reader // pinned concrete pages of cvs (one pin per range scan)
 	start []uint64      // decoded Start Time meta page
 	last  []uint64      // decoded Last Updated Time meta page
 	out   []uint64      // readCols fallback output
@@ -288,6 +289,10 @@ func newRangeScanner(s *Store, ts types.Timestamp, cols []int, preds []Pred) ran
 		sc.cvs = make([]*colVersion, n)
 	}
 	sc.cvs = sc.cvs[:n]
+	if cap(sc.pgs) < n {
+		sc.pgs = make([]page.Reader, n)
+	}
+	sc.pgs = sc.pgs[:n]
 	if cap(sc.out) < n {
 		sc.out = make([]uint64, n)
 	}
@@ -319,7 +324,10 @@ func (rs *rangeScanner) finish() {
 		rs.s.stats.ScanWordsSkipped.Add(uint64(rs.wordsSkip))
 	}
 	for i := range rs.sc.cvs {
-		rs.sc.cvs[i] = nil // do not pin page versions across pool reuse
+		rs.sc.cvs[i] = nil // do not hold page versions across pool reuse
+	}
+	for i := range rs.sc.pgs {
+		rs.sc.pgs[i] = nil
 	}
 	for i := range rs.sc.cp {
 		rs.sc.cp[i].Reset() // compiled preds hold page references too
@@ -392,6 +400,24 @@ func (rs *rangeScanner) scanRange(r *updateRange, slot0, nRows int, emit func(sl
 		return rs.scanUnsealed(r, slot0, nRows, emit)
 	}
 
+	// Pin every page this window reads, once per range: the pins keep the
+	// concrete encoded readers resident through the whole predicate/decode
+	// window (the buffer pool cannot evict mid-scan), and the Bind /
+	// DecodeWordInto fast paths below need the real page representations,
+	// not handles.
+	startPg := mv.startTime.MustPin()
+	lastPg := mv.lastUpdated.MustPin()
+	for i := range rs.cols {
+		sc.pgs[i] = sc.cvs[i].data.MustPin()
+	}
+	defer func() {
+		for i := range rs.cols {
+			sc.cvs[i].data.Unpin()
+		}
+		mv.lastUpdated.Unpin()
+		mv.startTime.Unpin()
+	}()
+
 	// The merged fast path for updated slots relies on Last Updated Time
 	// covering every record any requested column's TPS claims (true unless
 	// an independent column merge ran ahead of the last full merge; never
@@ -418,7 +444,7 @@ func (rs *rangeScanner) scanRange(r *updateRange, slot0, nRows int, emit func(sl
 	if useEnc {
 		for pi := range rs.preds {
 			p := &rs.preds[pi]
-			sc.cp[pi].Bind(sc.cvs[p.Idx].data, p.Lo, p.Hi, p.Negate)
+			sc.cp[pi].Bind(sc.pgs[p.Idx], p.Lo, p.Hi, p.Negate)
 		}
 		for i := range rs.cols {
 			sc.data[i] = growSlots(sc.data[i], nRows)
@@ -427,10 +453,10 @@ func (rs *rangeScanner) scanRange(r *updateRange, slot0, nRows int, emit func(sl
 		sc.last = growSlots(sc.last, nRows)
 	} else {
 		for i := range rs.cols {
-			sc.data[i] = decodeInto(sc.data[i][:0], sc.cvs[i].data)
+			sc.data[i] = decodeInto(sc.data[i][:0], sc.pgs[i])
 		}
-		sc.start = decodeInto(sc.start[:0], mv.startTime)
-		sc.last = decodeInto(sc.last[:0], mv.lastUpdated)
+		sc.start = decodeInto(sc.start[:0], startPg)
+		sc.last = decodeInto(sc.last[:0], lastPg)
 	}
 
 	for wi := slot0 >> 6; wi<<6 < nRows; wi++ {
@@ -465,15 +491,15 @@ func (rs *rangeScanner) scanRange(r *updateRange, slot0, nRows int, emit func(sl
 			// paths below read. Start Time always (visibility); column words
 			// only when the filter lets a page-served slot through; Last
 			// Updated only when updated slots can take the merged fast path.
-			page.DecodeWordInto(sc.start[lo:], mv.startTime, lo, hi-lo)
+			page.DecodeWordInto(sc.start[lo:], startPg, lo, hi-lo)
 			if fb != 0 {
 				for i := range rs.cols {
-					page.DecodeWordInto(sc.data[i][lo:], sc.cvs[i].data, lo, hi-lo)
+					page.DecodeWordInto(sc.data[i][lo:], sc.pgs[i], lo, hi-lo)
 				}
 				rs.wordsDec++
 			}
 			if word != 0 && luValid {
-				page.DecodeWordInto(sc.last[lo:], mv.lastUpdated, lo, hi-lo)
+				page.DecodeWordInto(sc.last[lo:], lastPg, lo, hi-lo)
 			}
 		}
 		if word == 0 {

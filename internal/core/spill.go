@@ -1,0 +1,115 @@
+package core
+
+import (
+	"lstore/internal/bufpool"
+	"lstore/internal/fault"
+	"lstore/internal/page"
+)
+
+// Beyond-RAM base storage (ROADMAP item 3): with Config.Spill set, every
+// sealed or merged base page is appended to the spill sink in its
+// page.MarshalEncoded form before it is published, and the published
+// colVersion/metaVersion holds a buffer-pool handle instead of the page
+// itself. The pool (Config.PoolBytes) decides what stays decoded in memory;
+// readers fault pages back in through pin/unpin. Tail pages, unmerged
+// chains, and row-layout slabs never spill — the paper's hot-write/
+// cold-columnar split.
+//
+// The spill file is append-only, so a descriptor handed to the page
+// directory (or to a checkpoint, see CheckpointSpillRefs) names immutable
+// bytes forever; the merge pointer-swap just installs a new descriptor.
+
+// Crash/fault points on the spill write path: a crash between the append
+// and the publish must recover cleanly (the WAL still holds the rows), and
+// an append failure (ENOSPC) must degrade to memory-resident pages, never
+// lose data.
+var (
+	cpSpillWrite = fault.Register("core.spill-write")
+	cpSpillSync  = fault.Register("core.spill-sync")
+)
+
+// SpillSink is the append-only page store behind beyond-RAM base storage
+// (re-exported so the API layer never imports the sealed bufpool package).
+type SpillSink = bufpool.SpillSink
+
+// SpillDesc locates one spilled page frame (offset + length + CRC).
+type SpillDesc = bufpool.Desc
+
+// FileSpill is the file-backed SpillSink.
+type FileSpill = bufpool.FileSpill
+
+// MemSpill is the in-memory SpillSink used by tests and the torture suite.
+type MemSpill = bufpool.MemSpill
+
+// OpenFileSpill opens (creating if absent) a file-backed spill sink.
+func OpenFileSpill(path string) (*FileSpill, error) { return bufpool.OpenFileSpill(path) }
+
+// NewMemSpill returns an empty in-memory spill sink.
+func NewMemSpill() *MemSpill { return bufpool.NewMemSpill() }
+
+// Meta-column slots in a range's spill-directory key space: data columns use
+// their own index, the merge-maintained meta columns follow.
+const (
+	spillSlotStart = iota // + ncols
+	spillSlotLastUpdated
+	spillSlotSchemaEnc
+)
+
+// spillKey addresses one base page in the spill page directory:
+// (range index, column-or-meta slot).
+func spillKey(rangeIdx, slot int) uint64 {
+	return uint64(rangeIdx)<<32 | uint64(uint32(slot))
+}
+
+// publishPage turns a freshly built encoded base page into the handle a
+// colVersion/metaVersion publishes. Without a pool the page is simply
+// wrapped resident. With one, the page is appended to the spill file, its
+// descriptor swapped into the spill page directory (the merge's pointer
+// swap), and the page admitted to the pool — it starts resident and ages
+// out under the byte budget. A spill-write failure (ENOSPC and friends)
+// degrades gracefully: the page stays memory-resident and SpillErrors
+// counts the miss; nothing is lost.
+//
+// pg must be a concrete encoded page (or rowView wrapped by the caller),
+// never a handle: MarshalEncoded of a foreign Reader would flatten it.
+func (s *Store) publishPage(r *updateRange, slot int, pg page.Reader) *bufpool.Handle {
+	if s.pool == nil {
+		return bufpool.NewResident(pg)
+	}
+	cpSpillWrite.Hit() // crash here: page never published, WAL replays the rows
+	d, err := s.pool.Spill().Append(page.MarshalEncoded(pg))
+	if err != nil {
+		s.stats.SpillErrors.Add(1)
+		return bufpool.NewResident(pg)
+	}
+	s.spillDir.Swap(spillKey(r.idx, slot), d)
+	return s.pool.Admit(spillKey(r.idx, slot), d, pg)
+}
+
+// SyncSpill makes every spilled page durable. Checkpoints that reference
+// spilled pages by descriptor call it before writing the references, so a
+// descriptor never outlives the bytes it names.
+func (s *Store) SyncSpill() error {
+	if s.pool == nil {
+		return nil
+	}
+	cpSpillSync.Hit() // crash here: checkpoint round dies, previous one stands
+	return s.pool.Spill().Sync()
+}
+
+// ReadSpill fetches one spilled frame by descriptor, CRC-verified — the
+// checkpoint restore path resolves page references through it.
+func (s *Store) ReadSpill(d SpillDesc) ([]byte, error) {
+	return s.cfg.Spill.ReadAt(d)
+}
+
+// Spilled reports whether the store runs with a spill sink attached.
+func (s *Store) Spilled() bool { return s.pool != nil }
+
+// PoolGauges returns the buffer pool's counters (zero values without a pool).
+func (s *Store) PoolGauges() bufpool.Gauges {
+	if s.pool == nil {
+		return bufpool.Gauges{}
+	}
+	return s.pool.Gauges()
+}

@@ -27,6 +27,7 @@ type Stats struct {
 	PagesReclaimed    atomic.Uint64
 	HistoryPasses     atomic.Uint64
 	HistoryRecords    atomic.Uint64
+	SpillErrors       atomic.Uint64 // spill appends that failed (page stayed resident)
 }
 
 // StatsSnapshot is a point-in-time copy of the counters, plus the merge-lag
@@ -65,6 +66,18 @@ type StatsSnapshot struct {
 	MergeQueueDepth int
 	MergeWorkers    int
 	ScanWorkers     int
+
+	// Beyond-RAM base storage (all zero without Config.Spill): the buffer
+	// pool's hit/miss/eviction counters, its resident-byte gauge against the
+	// configured cap, the number of page frames currently on the spill file
+	// (the spill page directory's size), and spill appends that failed.
+	PoolHits          uint64
+	PoolMisses        uint64
+	PoolEvictions     uint64
+	PoolResidentBytes int64
+	PoolCapBytes      int64
+	SpilledPages      int
+	SpillErrors       uint64
 }
 
 // Stats returns a snapshot of the engine counters and merge-lag gauges.
@@ -96,6 +109,16 @@ func (s *Store) Stats() StatsSnapshot {
 	}
 	for i := 0; i < s.rangeCount(); i++ {
 		snap.MergeBacklog += s.rangeAt(i).pendingTail()
+	}
+	if s.pool != nil {
+		pg := s.pool.Gauges()
+		snap.PoolHits = uint64(pg.Hits)
+		snap.PoolMisses = uint64(pg.Misses)
+		snap.PoolEvictions = uint64(pg.Evictions)
+		snap.PoolResidentBytes = pg.ResidentBytes
+		snap.PoolCapBytes = pg.CapBytes
+		snap.SpilledPages = s.spillDir.Len()
+		snap.SpillErrors = s.stats.SpillErrors.Load()
 	}
 	return snap
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"lstore/internal/bufpool"
 	"lstore/internal/epoch"
 	"lstore/internal/index"
 	"lstore/internal/pagedir"
@@ -27,6 +28,14 @@ type Store struct {
 	// tailDir is the page directory for update-tail blocks, keyed by
 	// (firstRID - TailRIDBase) / TailBlockSize.
 	tailDir *pagedir.Directory[*tailBlock]
+
+	// Beyond-RAM base storage (nil without Config.Spill): pool is the
+	// pinnable buffer pool over the spill sink, and spillDir is the page
+	// directory of spilled base pages — entries hold descriptors (offset +
+	// length + CRC) rather than live pages, keyed by spillKey; the merge's
+	// publish swaps descriptors exactly like its version-pointer swap.
+	pool     *bufpool.Pool
+	spillDir *pagedir.Directory[SpillDesc]
 
 	rangesMu  sync.RWMutex
 	ranges    []*updateRange // guarded by rangesMu
@@ -75,6 +84,10 @@ func NewStore(schema types.Schema, cfg Config, tm *txn.Manager, em *epoch.Manage
 		secondary: make(map[int]*index.Secondary),
 		dicts:     make([]*stringDict, schema.NumCols()),
 		mergeQ:    make(chan *updateRange, 1024),
+	}
+	if cfg.Spill != nil {
+		s.pool = bufpool.New(cfg.Spill, cfg.PoolBytes)
+		s.spillDir = pagedir.New[SpillDesc]()
 	}
 	for _, c := range cfg.SecondaryIndexColumns {
 		if c < 0 || c >= schema.NumCols() {

@@ -5,23 +5,27 @@ import (
 )
 
 // ScanPathAnalyzer enforces the "one scan engine" invariant: the page codecs
-// (internal/page) and the page directory (internal/pagedir) are implementation
-// details of internal/core, where rangeScanner/probeSlot and the Query planner
-// own every read path. Any other package that imports them is building a
-// second, unvalidated read path — the exact bug class of stale-read shortcuts
-// in HTAP engines — and gets flagged at the import.
+// (internal/page), the page directory (internal/pagedir), and the buffer
+// pool (internal/bufpool) are implementation details of internal/core, where
+// rangeScanner/probeSlot and the Query planner own every read path. Any
+// other package that imports them is building a second, unvalidated read
+// path — the exact bug class of stale-read shortcuts in HTAP engines — and
+// gets flagged at the import. A package that pins pool handles outside core
+// would additionally dodge the pin/unpin discipline the scan engine
+// guarantees.
 var ScanPathAnalyzer = &Analyzer{
 	Name: "scanpath",
-	Doc: "flags imports of internal/page or internal/pagedir outside " +
-		"internal/core; reads must go through the scan engine (rangeScanner/" +
-		"probeSlot/Query), never decode pages or walk slots directly",
+	Doc: "flags imports of internal/page, internal/pagedir, or internal/bufpool " +
+		"outside internal/core; reads must go through the scan engine (rangeScanner/" +
+		"probeSlot/Query), never decode pages, walk slots, or pin pool frames directly",
 	Run: runScanPath,
 }
 
 const scanPathMarker = "scanpath:ok"
 
 // scanPathSealed are the package path segments only internal/core may import.
-var scanPathSealed = []string{"/internal/page", "/internal/pagedir"}
+// The sealed packages' own sources are exempt (bufpool builds on page).
+var scanPathSealed = []string{"/internal/page", "/internal/pagedir", "/internal/bufpool"}
 
 func runScanPath(pass *Pass) error {
 	if PathHasSuffixSeg(pass.Pkg.ImportPath, "/internal/core") {

@@ -1,9 +1,10 @@
 // Package bad is the scanpath positive fixture: a package outside
-// internal/core reaching directly for the page codecs and the page
-// directory — a second, unvalidated read path.
+// internal/core reaching directly for the page codecs, the page
+// directory, and the buffer pool — a second, unvalidated read path.
 package bad
 
 import (
+	"lstore/internal/bufpool" // want "imports lstore/internal/bufpool"
 	"lstore/internal/page"    // want "imports lstore/internal/page"
 	"lstore/internal/pagedir" // want "imports lstore/internal/pagedir"
 )
@@ -13,3 +14,6 @@ func Decode(r page.Reader, slot int) uint64 { return r.Get(slot) }
 
 // NewDir walks the page directory from outside the engine.
 func NewDir() *pagedir.Directory[int] { return pagedir.New[int]() }
+
+// PinOutsideCore dodges the pin/unpin discipline the scan engine guarantees.
+func PinOutsideCore(h *bufpool.Handle) { h.MustPin() }

@@ -94,6 +94,14 @@ func (d *Directory[V]) Len() int {
 
 // Range calls fn for each entry until fn returns false, holding one stripe
 // latch at a time.
+//
+// fn runs UNDER that stripe's read latch, so it must not call Put, Swap, or
+// Delete on the directory: a write to a key that hashes to the stripe being
+// iterated self-deadlocks on the stripe's write latch (sync.RWMutex is not
+// reentrant, and a pending writer also blocks any further RLock). Lookups
+// from fn are safe — read latches are shared — and writes to OTHER stripes
+// merely risk blocking behind this iteration; collect mutations during the
+// walk and apply them after Range returns.
 func (d *Directory[V]) Range(fn func(k uint64, v V) bool) {
 	for i := range d.shards {
 		s := &d.shards[i]

@@ -59,6 +59,47 @@ func TestRange(t *testing.T) {
 	}
 }
 
+// TestRangeNoReentrantWrites pins the Range contract the doc comment states:
+// fn runs under the stripe's read latch, so lookups from inside fn are safe
+// (shared latches), while mutations must be collected and applied after the
+// walk. The mutate-after pattern below is the prescribed idiom; calling
+// Put/Swap/Delete from fn would self-deadlock on the iterated stripe and is
+// deliberately NOT exercised.
+func TestRangeNoReentrantWrites(t *testing.T) {
+	d := New[int]()
+	for i := uint64(0); i < 200; i++ {
+		d.Put(i, int(i))
+	}
+	// Nested Gets under the read latch, including keys on the stripe being
+	// iterated (k itself), must not block.
+	d.Range(func(k uint64, v int) bool {
+		if got, ok := d.Get(k); !ok || got != v {
+			t.Errorf("nested Get(%d) = (%d,%v) under Range latch", k, got, ok)
+		}
+		return true
+	})
+	// Collect during the walk, mutate after Range returns.
+	var stale []uint64
+	d.Range(func(k uint64, v int) bool {
+		if k%2 == 1 {
+			stale = append(stale, k)
+		}
+		return true
+	})
+	for _, k := range stale {
+		d.Delete(k)
+	}
+	if d.Len() != 100 {
+		t.Fatalf("Len = %d after deferred deletes, want 100", d.Len())
+	}
+	d.Range(func(k uint64, _ int) bool {
+		if k%2 == 1 {
+			t.Errorf("stale key %d survived", k)
+		}
+		return true
+	})
+}
+
 func TestConcurrentSwapAndGet(t *testing.T) {
 	d := New[*int]()
 	v0 := 0

@@ -521,7 +521,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		st := tbl.Stats()
 		backlog += st.MergeBacklog
-		tables[name] = map[string]any{
+		tstats := map[string]any{
 			"inserts":           st.Inserts,
 			"updates":           st.Updates,
 			"deletes":           st.Deletes,
@@ -533,6 +533,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"merge_backlog":     st.MergeBacklog,
 			"merge_queue_depth": st.MergeQueueDepth,
 		}
+		// Beyond-RAM base storage: present only when the table has a spill
+		// attached, so all-resident deployments keep their stats shape.
+		if st.PoolCapBytes > 0 || st.SpilledPages > 0 {
+			tstats["pool"] = map[string]any{
+				"hits":           st.PoolHits,
+				"misses":         st.PoolMisses,
+				"evictions":      st.PoolEvictions,
+				"resident_bytes": st.PoolResidentBytes,
+				"cap_bytes":      st.PoolCapBytes,
+				"spilled_pages":  st.SpilledPages,
+				"spill_errors":   st.SpillErrors,
+			}
+		}
+		tables[name] = tstats
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_secs":     int64(time.Since(s.born).Seconds()),

@@ -194,4 +194,47 @@ type TableOptions struct {
 	// representation and decoding only surviving 64-slot words. Benchmark
 	// baseline knob.
 	DisableEncodedScan bool
+
+	// Spill attaches beyond-RAM base storage: sealed and merged base pages
+	// are written to this sink in their encoded form and read back through a
+	// pinnable buffer pool capped at PoolBytes, so the table's base data may
+	// exceed memory. Tail pages and unmerged update chains stay resident.
+	// Incompatible with RowLayout. See OpenFileSpill / NewMemSpill.
+	Spill SpillSink
+	// PoolBytes caps the buffer pool's resident encoded-page bytes (CLOCK
+	// eviction evicts unpinned pages past the cap; default 64 MiB). Only
+	// meaningful with Spill.
+	PoolBytes int64
+	// CheckpointSpillRefs lets checkpoints reference this table's spilled
+	// cold pages by (offset, length, CRC) descriptor instead of shipping the
+	// page bytes — the image shrinks to a few uvarints per cold range, but is
+	// then valid ONLY together with the spill file that produced it, which
+	// Recover must see re-attached via Spill.
+	CheckpointSpillRefs bool
 }
+
+// SpillSink is append-only page-frame storage behind a table's buffer pool
+// (TableOptions.Spill); frames are addressed by self-verifying descriptors.
+type SpillSink = core.SpillSink
+
+// SpillDesc locates one spilled page frame: offset, length, CRC.
+type SpillDesc = core.SpillDesc
+
+// FileSpill is a file-backed SpillSink; see OpenFileSpill.
+type FileSpill = core.FileSpill
+
+// MemSpill is an in-memory SpillSink with failure-injection hooks (tests).
+type MemSpill = core.MemSpill
+
+// StatsSnapshot is what Table.Stats returns: engine counters, merge-lag
+// gauges, and (with Spill attached) the buffer pool's hit/miss/eviction and
+// resident-byte gauges.
+type StatsSnapshot = core.StatsSnapshot
+
+// OpenFileSpill opens (creating if absent) a file-backed spill at path.
+// Reopening an existing file preserves every descriptor handed out before,
+// which is what lets a checkpoint taken with CheckpointSpillRefs restore.
+func OpenFileSpill(path string) (*FileSpill, error) { return core.OpenFileSpill(path) }
+
+// NewMemSpill returns an empty in-memory spill.
+func NewMemSpill() *MemSpill { return core.NewMemSpill() }

@@ -179,19 +179,23 @@ func equalOracleRows(a, b []queryOracleRec) bool {
 // GetAt-oracle materializations at a fixed snapshot (iterations where the
 // oracles disagree — a pre-commit flip landed mid-comparison — are skipped,
 // as in the core scan oracle).
-func runQueryOracle(t *testing.T, workers int, perColumnMerge bool, iters int) {
+func runQueryOracle(t *testing.T, workers int, perColumnMerge bool, iters int, mut ...func(*TableOptions)) {
 	db := Open()
 	defer db.Close()
+	opts := TableOptions{
+		RangeSize: 64, MergeBatch: 8, ScanWorkers: workers,
+		MergeColumnsIndependently: perColumnMerge,
+		SecondaryIndexes:          []string{"region"},
+	}
+	for _, m := range mut {
+		m(&opts)
+	}
 	tbl, err := db.CreateTable("accounts", NewSchema("id",
 		Column{Name: "id", Type: Int64},
 		Column{Name: "owner", Type: String},
 		Column{Name: "balance", Type: Int64},
 		Column{Name: "region", Type: Int64},
-	), TableOptions{
-		RangeSize: 64, MergeBatch: 8, ScanWorkers: workers,
-		MergeColumnsIndependently: perColumnMerge,
-		SecondaryIndexes:          []string{"region"},
-	})
+	), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -389,4 +393,15 @@ func TestQueryPlansMatchGetAtOracle(t *testing.T) {
 // for parallel filtered scans at the API layer.
 func TestQueryPlansMatchGetAtOracleParallel(t *testing.T) {
 	runQueryOracle(t, 4, true, 30)
+}
+
+// TestQueryPlansMatchGetAtOracleSpill: the same property with base pages
+// spilled behind a pool capped at a handful of frames — parallel scans,
+// background merges, and pool evictions racing, with -race the API-layer
+// concurrency test for beyond-RAM base storage.
+func TestQueryPlansMatchGetAtOracleSpill(t *testing.T) {
+	runQueryOracle(t, 4, true, 30, func(o *TableOptions) {
+		o.Spill = NewMemSpill()
+		o.PoolBytes = 2048
+	})
 }

@@ -1,0 +1,206 @@
+package lstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lstore/internal/wal"
+)
+
+// spillCkptOpts returns table options for a spill-backed table whose
+// checkpoints reference cold pages by descriptor.
+func spillCkptOpts(spill SpillSink) TableOptions {
+	return TableOptions{
+		RangeSize:           64,
+		DisableAutoMerge:    true,
+		Spill:               spill,
+		PoolBytes:           4096, // a handful of frames: eviction is exercised
+		CheckpointSpillRefs: true,
+	}
+}
+
+// refFrameStats counts framePageRef and framePageRange frames in an image.
+func refFrameStats(t *testing.T, image []byte) (refs, pages int) {
+	t.Helper()
+	scan := wal.ScanFrames(bytes.NewReader(image), func(payload []byte) error {
+		switch payload[0] {
+		case framePageRef:
+			refs++
+		case framePageRange:
+			pages++
+		}
+		return nil
+	})
+	if scan.Reason != "clean-eof" {
+		t.Fatalf("image scan: %s", scan.Reason)
+	}
+	return refs, pages
+}
+
+// spillCkptImage builds a spill-backed table (4 cold ranges + warm tail),
+// checkpoints it, and returns the image, the spill, and the expected state.
+func spillCkptImage(t *testing.T) (image []byte, spill *MemSpill, want map[int64]Row) {
+	t.Helper()
+	spill = NewMemSpill()
+	db := Open()
+	tbl, err := db.CreateTable("t", intSchema(), spillCkptOpts(spill))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin(ReadCommitted)
+	for i := int64(0); i < 300; i++ {
+		if err := tbl.Insert(tx, Row{"id": Int(i), "a": Int(i % 5), "b": Int(1000 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCommit(t, tx)
+	tbl.Merge()
+	want = tableState(t, tbl, db.Now())
+	var ckpt bytes.Buffer
+	info, err := db.Checkpoint(&ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rows != 300 {
+		t.Fatalf("checkpoint declares %d rows, want 300", info.Rows)
+	}
+	db.Close()
+	return ckpt.Bytes(), spill, want
+}
+
+// TestCheckpointSpillRefs: cold ranges of a spill-backed table reach the
+// checkpoint as descriptor frames — no page payloads — and restore with the
+// same spill re-attached resolves them back to identical state.
+func TestCheckpointSpillRefs(t *testing.T) {
+	image, spill, want := spillCkptImage(t)
+
+	refs, pages := refFrameStats(t, image)
+	if refs != 4 {
+		t.Fatalf("image holds %d ref frames, want 4 (every sealed range spilled)", refs)
+	}
+	if pages != 0 {
+		t.Fatalf("image holds %d page frames, want 0 (refs replace payloads)", pages)
+	}
+	if rep := VerifyCheckpoint(bytes.NewReader(image)); !rep.Complete {
+		t.Fatalf("VerifyCheckpoint rejects a ref image: %s (%s)", rep.Reason, rep.Detail)
+	}
+	// The point of refs: 4 ranges × 4 pages of descriptors is a few hundred
+	// bytes, while the spill holds the actual page payloads.
+	if int64(len(image)) >= spill.Size() {
+		t.Fatalf("ref image is %d bytes, spill holds %d: image should not carry payloads", len(image), spill.Size())
+	}
+
+	db2 := Open()
+	defer db2.Close()
+	tbl2, err := db2.CreateTable("t", intSchema(), spillCkptOpts(spill))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(db2, bytes.NewReader(image), nil); err != nil {
+		t.Fatal(err)
+	}
+	assertSameState(t, want, tableState(t, tbl2, db2.Now()), "restored from spill refs")
+	if st := tbl2.Stats(); st.SpilledPages == 0 {
+		t.Fatal("restored table spilled no pages: install must publish through the pool")
+	}
+}
+
+// TestCheckpointSpillRefsNeedSpillFile: a ref image restored without the
+// spill attached, or with the wrong spill, must fail loudly — never install
+// partial or forged ranges.
+func TestCheckpointSpillRefsNeedSpillFile(t *testing.T) {
+	image, _, _ := spillCkptImage(t)
+
+	// No spill attached at all.
+	db2 := Open()
+	if _, err := db2.CreateTable("t", intSchema(), TableOptions{RangeSize: 64, DisableAutoMerge: true}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Recover(db2, bytes.NewReader(image), nil)
+	if err == nil || !strings.Contains(err.Error(), "no spill file") {
+		t.Fatalf("restore without spill: got %v, want a no-spill-file error", err)
+	}
+	db2.Close()
+
+	// A different (empty) spill: descriptors point beyond its end.
+	db3 := Open()
+	if _, err := db3.CreateTable("t", intSchema(), spillCkptOpts(NewMemSpill())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(db3, bytes.NewReader(image), nil); err == nil {
+		t.Fatal("restore against the wrong spill succeeded")
+	}
+	db3.Close()
+}
+
+// TestCheckpointSpillRefsCorruptFrame: a bit flip inside a spilled frame is
+// caught by the descriptor CRC at restore.
+func TestCheckpointSpillRefsCorruptFrame(t *testing.T) {
+	image, spill, _ := spillCkptImage(t)
+	spill.Corrupt = func(d SpillDesc, p []byte) {
+		if d.Off == 0 { // first frame only: the error must still surface
+			p[len(p)/2] ^= 0x40
+		}
+	}
+	db2 := Open()
+	defer db2.Close()
+	if _, err := db2.CreateTable("t", intSchema(), spillCkptOpts(spill)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Recover(db2, bytes.NewReader(image), nil)
+	if err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("restore over a corrupt frame: got %v, want a CRC error", err)
+	}
+}
+
+// TestCheckpointSpillRefsFileSpill: the same round trip over a real spill
+// file, closed and reopened between checkpoint and restore — descriptors
+// survive process boundaries.
+func TestCheckpointSpillRefsFileSpill(t *testing.T) {
+	path := t.TempDir() + "/spill.lst"
+	spill, err := OpenFileSpill(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := Open()
+	tbl, err := db.CreateTable("t", intSchema(), spillCkptOpts(spill))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin(ReadCommitted)
+	for i := int64(0); i < 256; i++ {
+		if err := tbl.Insert(tx, Row{"id": Int(i), "a": Int(i % 3), "b": Int(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCommit(t, tx)
+	tbl.Merge()
+	want := tableState(t, tbl, db.Now())
+	var ckpt bytes.Buffer
+	if _, err := db.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if err := spill.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if refs, _ := refFrameStats(t, ckpt.Bytes()); refs == 0 {
+		t.Fatal("precondition: image has no ref frames")
+	}
+	spill2, err := OpenFileSpill(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2 := Open()
+	defer db2.Close()
+	tbl2, err := db2.CreateTable("t", intSchema(), spillCkptOpts(spill2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(db2, bytes.NewReader(ckpt.Bytes()), nil); err != nil {
+		t.Fatal(err)
+	}
+	assertSameState(t, want, tableState(t, tbl2, db2.Now()), "restored from reopened spill file")
+}

@@ -40,6 +40,21 @@ func tortureScale() int {
 	return 1
 }
 
+// tortureOpts are the table options every torture table runs with: ranges
+// tiny enough that seals happen every few commits, and beyond-RAM base
+// storage over a fresh in-memory spill with a pool cap of a few frames — so
+// the spill-write, pool miss-read, and spill-sync paths all sit inside the
+// crash sweep (calibration fails on any point the workload cannot reach).
+func tortureOpts() TableOptions {
+	return TableOptions{
+		RangeSize:           8,
+		DisableAutoMerge:    true,
+		Spill:               NewMemSpill(),
+		PoolBytes:           64,
+		CheckpointSpillRefs: true,
+	}
+}
+
 // tortureDev is one durable "machine": a raw WAL device and a checkpoint
 // sink, plus the two cold-read accessors a post-kill recovery is allowed to
 // use. Nothing else survives the crash.
@@ -248,6 +263,12 @@ func tortureWorkload(db *DB, tbl *Table, rng *rand.Rand, commits int, run *tortu
 			db.checkpointRound()
 			done++ // one round per boundary, not one per failed attempt after it
 		}
+		// Foreground merge every few commits: consolidation republishes base
+		// pages through the spill, putting the merge-publish path (and its
+		// crash points) on the torture goroutine where a trip can kill it.
+		if done > 0 && done%5 == 0 {
+			tbl.Merge()
+		}
 	}
 }
 
@@ -258,7 +279,7 @@ func recoverTorture(t *testing.T, durable, image []byte, haveCkpt bool) map[int6
 	t.Helper()
 	for attempt := 0; attempt < 4; attempt++ {
 		db2 := Open()
-		tbl2, err := db2.CreateTable("t", ckptSchema(), TableOptions{DisableAutoMerge: true})
+		tbl2, err := db2.CreateTable("t", ckptSchema(), tortureOpts())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -321,7 +342,7 @@ func calibrateTorture(t *testing.T, media tortureMedia, seed int64, commits int)
 	dev := media.open(t)
 	db := Open(WithWAL(fault.NewSink(dev.inner), nil))
 	db.ckptSink = dev.ckpt
-	tbl, err := db.CreateTable("t", ckptSchema(), TableOptions{DisableAutoMerge: true})
+	tbl, err := db.CreateTable("t", ckptSchema(), tortureOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +368,7 @@ func runCrashScenario(t *testing.T, media tortureMedia, point string, nth int, p
 	dev := media.open(t)
 	db := Open(WithWAL(fault.NewSink(dev.inner, plan...), nil))
 	db.ckptSink = dev.ckpt
-	tbl, err := db.CreateTable("t", ckptSchema(), TableOptions{DisableAutoMerge: true})
+	tbl, err := db.CreateTable("t", ckptSchema(), tortureOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -421,7 +442,7 @@ func TestTortureTornTailByteSweep(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	var log bytes.Buffer
 	db := Open(WithWAL(&log, nil))
-	tbl, err := db.CreateTable("t", ckptSchema(), TableOptions{DisableAutoMerge: true})
+	tbl, err := db.CreateTable("t", ckptSchema(), tortureOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -462,7 +483,7 @@ func TestTortureTornTailByteSweep(t *testing.T) {
 func TestTortureCheckpointTornSweep(t *testing.T) {
 	fault.Reset()
 	db := Open()
-	tbl, err := db.CreateTable("t", ckptSchema(), TableOptions{DisableAutoMerge: true})
+	tbl, err := db.CreateTable("t", ckptSchema(), tortureOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -491,7 +512,7 @@ func TestTortureCheckpointTornSweep(t *testing.T) {
 		t.Fatalf("verifier reconstructed %+v, checkpoint reported %+v", full.Info, info)
 	}
 	db2 := Open()
-	tbl2, err := db2.CreateTable("t", ckptSchema(), TableOptions{DisableAutoMerge: true})
+	tbl2, err := db2.CreateTable("t", ckptSchema(), tortureOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -506,7 +527,7 @@ func TestTortureCheckpointTornSweep(t *testing.T) {
 			t.Fatalf("image truncated to %d of %d bytes verifies as complete", cut, len(image))
 		}
 		db3 := Open()
-		if _, err := db3.CreateTable("t", ckptSchema(), TableOptions{DisableAutoMerge: true}); err != nil {
+		if _, err := db3.CreateTable("t", ckptSchema(), tortureOpts()); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := Recover(db3, bytes.NewReader(image[:cut]), nil); err == nil {
@@ -545,7 +566,7 @@ func TestFileBackedRecoveryWithDiskTruncation(t *testing.T) {
 	}
 	db := Open(WithWAL(ws, nil))
 	db.ckptSink = cs
-	tbl, err := db.CreateTable("t", ckptSchema(), TableOptions{DisableAutoMerge: true})
+	tbl, err := db.CreateTable("t", ckptSchema(), tortureOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -614,7 +635,7 @@ func TestFileBackedRecoveryWithDiskTruncation(t *testing.T) {
 	}
 	db2 := Open()
 	defer db2.Close()
-	tbl2, err := db2.CreateTable("t", ckptSchema(), TableOptions{DisableAutoMerge: true})
+	tbl2, err := db2.CreateTable("t", ckptSchema(), tortureOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
